@@ -1,0 +1,64 @@
+"""Shared builders for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.params import NetworkParameters, daelite_parameters
+from repro.topology import Topology, build_mesh
+
+
+def connected_daelite(
+    topology: Topology,
+    params: NetworkParameters,
+    src: str,
+    dst: str,
+    forward_slots: int = 2,
+    reverse_slots: int = 1,
+    host: Optional[str] = None,
+    label: str = "bench",
+):
+    """A daelite network with one live connection; returns
+    (network, connection, handle)."""
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            label,
+            src,
+            dst,
+            forward_slots=forward_slots,
+            reverse_slots=reverse_slots,
+        )
+    )
+    network = DaeliteNetwork(topology, params, host_ni=host or src)
+    handle = network.configure(connection)
+    return network, connection, handle
+
+
+def line_mesh(length: int):
+    """A 1-row mesh, convenient for path-length sweeps."""
+    return build_mesh(length, 1)
+
+
+def stream_and_measure(
+    network,
+    src: str,
+    dst: str,
+    src_channel: int,
+    dst_channel: int,
+    words: int,
+    label: str,
+    max_steps: int = 60_000,
+) -> Tuple[int, int]:
+    """Send ``words`` words, drain the sink; return (delivered, cycles)."""
+    network.ni(src).submit_words(src_channel, list(range(words)), label)
+    delivered = 0
+    start = network.kernel.cycle
+    for _ in range(max_steps):
+        network.run(1)
+        delivered += len(network.ni(dst).receive(dst_channel))
+        if delivered >= words:
+            break
+    return delivered, network.kernel.cycle - start

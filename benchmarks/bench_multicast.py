@@ -1,0 +1,139 @@
+"""C5 — Multicast tree vs per-destination unicast connections (Fig. 7).
+
+"This is more efficient and offers higher performance than having
+separate connections from the source NI to all destinations because in
+the latter case the bandwidth on [the] output link of the source NI would
+need to be divided between all the connections."
+
+For n = 2..6 destinations we compare (i) the source-NI link slots needed
+and (ii) the per-destination delivery rate, for a daelite multicast tree
+against n separate unicast channels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import (
+    ChannelRequest,
+    MulticastRequest,
+    SlotAllocator,
+)
+from repro.core import DaeliteNetwork
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+SLOT_TABLE_SIZE = 16
+STREAM_SLOTS = 4  # per-destination bandwidth target
+DESTINATIONS = ["NI30", "NI03", "NI33", "NI20", "NI02", "NI23"]
+
+
+def tree_source_slots(n):
+    """Source-link slots for a multicast tree to n destinations."""
+    topology = build_mesh(4, 4)
+    params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+    allocator = SlotAllocator(topology=topology, params=params)
+    tree = allocator.allocate_multicast(
+        MulticastRequest(
+            "mc", "NI00", tuple(DESTINATIONS[:n]), slots=STREAM_SLOTS
+        )
+    )
+    return len(tree.slots)
+
+
+def unicast_source_slots(n):
+    """Source-link slots for n separate unicast channels, or None if
+    the source link cannot hold them."""
+    topology = build_mesh(4, 4)
+    params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+    allocator = SlotAllocator(topology=topology, params=params)
+    total = 0
+    try:
+        for index in range(n):
+            channel = allocator.allocate_channel(
+                ChannelRequest(
+                    f"u{index}",
+                    "NI00",
+                    DESTINATIONS[index],
+                    slots=STREAM_SLOTS,
+                )
+            )
+            total += len(channel.slots)
+    except AllocationError:
+        return None
+    return total
+
+
+def test_multicast_source_link_cost(benchmark):
+    def sweep():
+        rows = []
+        for n in range(2, 7):
+            rows.append(
+                (n, tree_source_slots(n), unicast_source_slots(n))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    print(
+        "\nC5 — SOURCE-NI LINK SLOTS: multicast tree vs separate "
+        f"unicast connections ({STREAM_SLOTS} slots/destination, T=16)"
+    )
+    print(f"{'destinations':>13} {'tree':>5} {'unicast':>8}")
+    for n, tree, unicast in rows:
+        print(
+            f"{n:>13} {tree:>5} "
+            f"{unicast if unicast is not None else 'FAILS':>8}"
+        )
+    for n, tree, unicast in rows:
+        assert tree == STREAM_SLOTS  # the tree pays the link once
+        if unicast is not None:
+            assert unicast == n * STREAM_SLOTS
+    # Beyond 16/STREAM_SLOTS destinations the unicast approach cannot
+    # even be allocated; the tree always can.
+    assert any(unicast is None for *_, unicast in rows)
+
+
+def test_multicast_streaming_rate(benchmark):
+    """Measured delivery: every destination of the tree receives the
+    full stream bandwidth; unicast splits the injection rate."""
+
+    def measure():
+        topology = build_mesh(3, 3)
+        params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+        allocator = SlotAllocator(topology=topology, params=params)
+        tree = allocator.allocate_multicast(
+            MulticastRequest(
+                "mc", "NI00", ("NI22", "NI20", "NI02"), slots=4
+            )
+        )
+        net = DaeliteNetwork(topology, params, host_ni="NI11")
+        handle = net.configure_multicast(tree)
+        words = 200
+        net.ni("NI00").submit_words(
+            handle.src_channel, list(range(words)), "mc"
+        )
+        start = net.kernel.cycle
+        received = {dst: 0 for dst in tree.dst_nis}
+        for _ in range(20_000):
+            net.run(1)
+            for dst in tree.dst_nis:
+                received[dst] += len(
+                    net.ni(dst).receive(handle.dst_channels[dst])
+                )
+            if all(count >= words for count in received.values()):
+                break
+        cycles = net.kernel.cycle - start
+        link_words = net.link("NI00", "R00").words_carried
+        return words, cycles, link_words, received
+
+    words, cycles, link_words, received = benchmark(measure)
+    per_dest_rate = words / cycles
+    print("\nC5 — MULTICAST STREAMING (3 destinations, 4/16 slots)")
+    print(f"  per-destination delivery rate: {per_dest_rate:.3f} w/cyc")
+    print(f"  source-link words for {words} x3 deliveries: {link_words}")
+    assert link_words == words  # the stream crosses the source link once
+    for dst, count in received.items():
+        assert count == words
+    # 4/16 slots at 2 words/slot = 0.25 words/cycle sustained.
+    assert per_dest_rate == pytest.approx(0.25, rel=0.15)

@@ -1,0 +1,29 @@
+"""T1 — Regenerate Table I: comparison with similar NoCs.
+
+Run with ``pytest benchmarks/bench_table1_features.py --benchmark-only -s``
+to see the rendered table.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    TABLE1,
+    daelite_unique_combination,
+    render_table1,
+)
+
+
+def test_table1_render(benchmark):
+    """Render the feature-comparison table (the paper's Table I)."""
+    text = benchmark(render_table1)
+    print("\nTABLE I — COMPARISON WITH SIMILAR NETWORK IMPLEMENTATIONS")
+    print(text)
+    footnotes = [
+        f"[{noc.name}] {note}"
+        for noc in TABLE1
+        for note in noc.notes
+    ]
+    for footnote in footnotes:
+        print(footnote)
+    assert len(TABLE1) == 7
+    assert daelite_unique_combination()

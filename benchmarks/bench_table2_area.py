@@ -1,0 +1,46 @@
+"""T2 — Regenerate Table II: daelite area reduction vs ten designs.
+
+Paper row format: "<design> <parameters> (<technology>)  <reduction>".
+We print the paper's reported reduction next to our component-model
+estimate; the reproduction target is the *shape* (who daelite beats, and
+by roughly how much).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import table2_rows
+
+
+def test_table2_area_reductions(benchmark):
+    rows = benchmark(table2_rows)
+    print(
+        "\nTABLE II — DAELITE AREA REDUCTION COMPARED TO OTHER "
+        "IMPLEMENTATIONS"
+    )
+    print(
+        f"{'design':<16} {'parameters':<42} {'tech':>6} "
+        f"{'paper':>7} {'model':>7}"
+    )
+    for row in rows:
+        print(
+            f"{row.name:<16} {row.description:<42} {row.tech:>6} "
+            f"{row.paper_reduction:>6.0%} {row.model_reduction:>6.1%}"
+        )
+    assert len(rows) == 10
+    for row in rows:
+        assert row.model_reduction > 0, f"{row.name} should lose area"
+        assert abs(row.model_reduction - row.paper_reduction) <= 0.03
+
+
+def test_table2_absolute_areas(benchmark):
+    """Absolute mm^2 estimates behind the reductions (sanity view)."""
+    rows = benchmark(table2_rows)
+    print("\nTable II absolute areas (component model)")
+    print(f"{'design':<16} {'daelite mm2':>12} {'other mm2':>12}")
+    for row in rows:
+        print(
+            f"{row.name:<16} {row.daelite_mm2:>12.4f} "
+            f"{row.other_mm2:>12.4f}"
+        )
+    for row in rows:
+        assert row.daelite_mm2 < row.other_mm2

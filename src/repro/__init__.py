@@ -1,0 +1,66 @@
+"""daelite — a TDM NoC supporting QoS, multicast, and fast connection
+set-up (reproduction of Stefan et al., DATE 2012).
+
+Public API highlights:
+
+* :func:`repro.topology.build_mesh` — build a platform topology.
+* :class:`repro.alloc.SlotAllocator` — compute contention-free schedules.
+* :class:`repro.core.DaeliteNetwork` — the cycle-accurate daelite model.
+* :mod:`repro.aelite` — the aelite baseline used throughout the paper's
+  evaluation.
+* :mod:`repro.analysis` — QoS bounds, the area model (Table II), and
+  set-up-time analysis (Table III).
+"""
+
+from .errors import (
+    AllocationError,
+    ConfigBusyError,
+    ConfigurationError,
+    FlowControlError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    ScheduleError,
+    SimulationError,
+    SlotConflictError,
+    TopologyError,
+    TrafficError,
+)
+from .params import (
+    AELITE_HOP_CYCLES,
+    AELITE_PAYLOAD_WORDS,
+    AELITE_WORDS_PER_SLOT,
+    DAELITE_HOP_CYCLES,
+    DAELITE_WORDS_PER_SLOT,
+    NetworkParameters,
+    aelite_parameters,
+    daelite_parameters,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "ConfigBusyError",
+    "ConfigurationError",
+    "FlowControlError",
+    "ParameterError",
+    "ProtocolError",
+    "ReproError",
+    "RoutingError",
+    "ScheduleError",
+    "SimulationError",
+    "SlotConflictError",
+    "TopologyError",
+    "TrafficError",
+    "AELITE_HOP_CYCLES",
+    "AELITE_PAYLOAD_WORDS",
+    "AELITE_WORDS_PER_SLOT",
+    "DAELITE_HOP_CYCLES",
+    "DAELITE_WORDS_PER_SLOT",
+    "NetworkParameters",
+    "aelite_parameters",
+    "daelite_parameters",
+    "__version__",
+]

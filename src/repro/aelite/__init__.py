@@ -1,0 +1,52 @@
+"""aelite baseline: source-routed GS-only Æthereal (Hansson et al.)."""
+
+from .config import (
+    CONFIG_LABEL,
+    AeliteConfigModel,
+    ConfigAccess,
+    reserve_config_slots,
+)
+from .inband import (
+    AeliteMeasuredHandle,
+    ConfigSlave,
+    InBandConfigurator,
+    decode_path,
+    encode_path,
+)
+from .ni import AeliteNetworkInterface, AeliteSourceConnection
+from .network import (
+    AeliteChannelHandle,
+    AeliteConnectionHandle,
+    AeliteNetwork,
+)
+from .packets import (
+    MAX_PACKET_SLOTS,
+    AeliteHeader,
+    header_overhead,
+    payload_efficiency,
+    slots_needed,
+)
+from .router import AeliteRouter
+
+__all__ = [
+    "CONFIG_LABEL",
+    "AeliteConfigModel",
+    "ConfigAccess",
+    "reserve_config_slots",
+    "AeliteMeasuredHandle",
+    "ConfigSlave",
+    "InBandConfigurator",
+    "decode_path",
+    "encode_path",
+    "AeliteNetworkInterface",
+    "AeliteSourceConnection",
+    "AeliteChannelHandle",
+    "AeliteConnectionHandle",
+    "AeliteNetwork",
+    "MAX_PACKET_SLOTS",
+    "AeliteHeader",
+    "header_overhead",
+    "payload_efficiency",
+    "slots_needed",
+    "AeliteRouter",
+]

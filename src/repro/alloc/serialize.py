@@ -1,0 +1,135 @@
+"""Schedule persistence: JSON (de)serialization of allocations.
+
+The Æthereal-style flow computes schedules at design time and loads
+them at boot; this module is the file format between the two — every
+allocation kind round-trips through plain JSON, so a schedule computed
+by :mod:`repro.alloc` can be stored with the firmware image and replayed
+through the host driver at run time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Union
+
+from ..errors import ParameterError
+from .spec import (
+    AllocatedChannel,
+    AllocatedConnection,
+    AllocatedMulticast,
+)
+
+Allocation = Union[AllocatedChannel, AllocatedConnection, AllocatedMulticast]
+
+_KIND_CHANNEL = "channel"
+_KIND_CONNECTION = "connection"
+_KIND_MULTICAST = "multicast"
+
+
+def channel_to_dict(channel: AllocatedChannel) -> Dict[str, Any]:
+    """Plain-data form of one channel."""
+    data: Dict[str, Any] = {
+        "kind": _KIND_CHANNEL,
+        "label": channel.label,
+        "path": list(channel.path),
+        "slots": sorted(channel.slots),
+        "slot_table_size": channel.slot_table_size,
+    }
+    if channel.link_delays:
+        data["link_delays"] = list(channel.link_delays)
+    return data
+
+
+def channel_from_dict(data: Dict[str, Any]) -> AllocatedChannel:
+    """Inverse of :func:`channel_to_dict`.
+
+    Raises:
+        ParameterError: on a malformed document.
+    """
+    if data.get("kind") != _KIND_CHANNEL:
+        raise ParameterError(
+            f"expected a channel document, got {data.get('kind')!r}"
+        )
+    return AllocatedChannel(
+        label=data["label"],
+        path=tuple(data["path"]),
+        slots=frozenset(data["slots"]),
+        slot_table_size=data["slot_table_size"],
+        link_delays=tuple(data.get("link_delays", ())),
+    )
+
+
+def allocation_to_dict(allocation: Allocation) -> Dict[str, Any]:
+    """Plain-data form of any allocation kind."""
+    if isinstance(allocation, AllocatedChannel):
+        return channel_to_dict(allocation)
+    if isinstance(allocation, AllocatedConnection):
+        return {
+            "kind": _KIND_CONNECTION,
+            "label": allocation.label,
+            "forward": channel_to_dict(allocation.forward),
+            "reverse": channel_to_dict(allocation.reverse),
+        }
+    if isinstance(allocation, AllocatedMulticast):
+        return {
+            "kind": _KIND_MULTICAST,
+            "label": allocation.label,
+            "paths": [
+                channel_to_dict(branch) for branch in allocation.paths
+            ],
+        }
+    raise ParameterError(f"cannot serialize {type(allocation).__name__}")
+
+
+def allocation_from_dict(data: Dict[str, Any]) -> Allocation:
+    """Inverse of :func:`allocation_to_dict` (validates on construction)."""
+    kind = data.get("kind")
+    if kind == _KIND_CHANNEL:
+        return channel_from_dict(data)
+    if kind == _KIND_CONNECTION:
+        return AllocatedConnection(
+            label=data["label"],
+            forward=channel_from_dict(data["forward"]),
+            reverse=channel_from_dict(data["reverse"]),
+        )
+    if kind == _KIND_MULTICAST:
+        return AllocatedMulticast(
+            label=data["label"],
+            paths=tuple(
+                channel_from_dict(branch) for branch in data["paths"]
+            ),
+        )
+    raise ParameterError(f"unknown allocation kind {kind!r}")
+
+
+def schedule_to_json(
+    allocations: Iterable[Allocation], indent: int = 2
+) -> str:
+    """Serialize a whole schedule to a JSON document."""
+    return json.dumps(
+        {
+            "format": "repro.daelite.schedule/1",
+            "allocations": [
+                allocation_to_dict(allocation)
+                for allocation in allocations
+            ],
+        },
+        indent=indent,
+    )
+
+
+def schedule_from_json(text: str) -> List[Allocation]:
+    """Load a schedule back from its JSON document.
+
+    Raises:
+        ParameterError: on an unknown format tag or malformed content.
+    """
+    document = json.loads(text)
+    if document.get("format") != "repro.daelite.schedule/1":
+        raise ParameterError(
+            f"unknown schedule format {document.get('format')!r}"
+        )
+    return [
+        allocation_from_dict(entry)
+        for entry in document["allocations"]
+    ]

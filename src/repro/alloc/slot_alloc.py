@@ -1,0 +1,325 @@
+"""Contention-free TDM slot allocation.
+
+The design-time counterpart of Section III: "the bandwidth of each link is
+split, in the time domain, into a predefined number of timeslots.  Each
+connection receives exclusive use of some of these timeslots."  The
+allocator keeps a ledger of (directed link, slot) claims; a channel whose
+source NI injects in base slot *s* claims slot ``(s + k + 1) mod T`` on
+the *k*-th link of its path, so a base slot is admissible only if that
+whole diagonal of claims is free — the classical slot-alignment constraint
+of contention-free routing.
+
+Two slot-picking policies are offered: ``first`` (lowest admissible
+slots — compact) and ``spread`` (maximize spacing — minimizes the worst
+scheduling wait, see :mod:`repro.analysis.bounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AllocationError, SlotConflictError
+from ..params import NetworkParameters
+from ..topology import Topology
+from .pathfind import path_via_tree, shortest_path, xy_path
+from .spec import (
+    AllocatedChannel,
+    AllocatedConnection,
+    AllocatedMulticast,
+    ChannelRequest,
+    ConnectionRequest,
+    MulticastRequest,
+)
+
+
+class LinkSlotLedger:
+    """Book-keeping of which connection owns each (link, slot) pair."""
+
+    def __init__(self, slot_table_size: int) -> None:
+        self.slot_table_size = slot_table_size
+        self._claims: Dict[Tuple[str, str], Dict[int, str]] = {}
+
+    def owner(self, edge: Tuple[str, str], slot: int) -> Optional[str]:
+        """Label owning ``slot`` on ``edge``, or ``None``."""
+        return self._claims.get(edge, {}).get(slot % self.slot_table_size)
+
+    def is_free(self, edge: Tuple[str, str], slot: int) -> bool:
+        return self.owner(edge, slot) is None
+
+    def claim(
+        self, edge: Tuple[str, str], slot: int, label: str
+    ) -> None:
+        """Claim one (link, slot) pair.
+
+        Raises:
+            SlotConflictError: if already owned by a different label.
+        """
+        slot %= self.slot_table_size
+        owner = self.owner(edge, slot)
+        if owner is not None and owner != label:
+            raise SlotConflictError(
+                f"link {edge} slot {slot} owned by {owner!r}; "
+                f"cannot claim for {label!r}"
+            )
+        self._claims.setdefault(edge, {})[slot] = label
+
+    def release(self, edge: Tuple[str, str], slot: int, label: str) -> None:
+        """Release one claim.
+
+        Raises:
+            SlotConflictError: if the claim is not owned by ``label``.
+        """
+        slot %= self.slot_table_size
+        owner = self.owner(edge, slot)
+        if owner != label:
+            raise SlotConflictError(
+                f"link {edge} slot {slot} owned by {owner!r}, not "
+                f"{label!r}; cannot release"
+            )
+        del self._claims[edge][slot]
+
+    def link_utilization(self, edge: Tuple[str, str]) -> float:
+        """Fraction of slots claimed on one directed link."""
+        return len(self._claims.get(edge, {})) / self.slot_table_size
+
+    def total_claims(self) -> int:
+        return sum(len(slots) for slots in self._claims.values())
+
+
+def _spread_pick(candidates: Sequence[int], count: int, size: int) -> List[int]:
+    """Pick ``count`` slots from ``candidates`` roughly evenly spaced."""
+    ordered = sorted(candidates)
+    if count >= len(ordered):
+        return list(ordered)
+    picked: List[int] = []
+    stride = len(ordered) / count
+    for i in range(count):
+        index = int(i * stride)
+        picked.append(ordered[index])
+    return picked
+
+
+@dataclass
+class SlotAllocator:
+    """Allocates channels, connections, and multicast trees.
+
+    Attributes:
+        topology: The network the schedule is computed for.
+        params: Network parameters (for the wheel size T).
+        routing: ``"xy"`` (meshes) or ``"shortest"``.
+        policy: Slot-picking policy, ``"first"`` or ``"spread"``.
+    """
+
+    topology: Topology
+    params: NetworkParameters
+    routing: str = "shortest"
+    policy: str = "spread"
+    ledger: LinkSlotLedger = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("xy", "shortest"):
+            raise AllocationError(f"unknown routing {self.routing!r}")
+        if self.policy not in ("first", "spread"):
+            raise AllocationError(f"unknown policy {self.policy!r}")
+        self.ledger = LinkSlotLedger(self.params.slot_table_size)
+
+    # -- path & base-slot machinery ---------------------------------------------
+
+    def _route(self, src_ni: str, dst_ni: str) -> Tuple[str, ...]:
+        if self.routing == "xy":
+            return xy_path(self.topology, src_ni, dst_ni)
+        return shortest_path(self.topology, src_ni, dst_ni)
+
+    def admissible_base_slots(
+        self,
+        path: Sequence[str],
+        link_delays: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """Base slots whose full claim diagonal is free along ``path``.
+
+        ``link_delays`` (extra slots per link, for pipelined links)
+        shifts the diagonal exactly as
+        :meth:`~repro.alloc.spec.AllocatedChannel.link_claims` does.
+        """
+        size = self.params.slot_table_size
+        delays = list(link_delays) if link_delays else [0] * (
+            len(path) - 1
+        )
+        offsets = []
+        accumulated = 0
+        for k in range(len(path) - 1):
+            offsets.append(k + 1 + accumulated)
+            accumulated += delays[k]
+        admissible = []
+        for base in range(size):
+            if all(
+                self.ledger.is_free(
+                    (path[k], path[k + 1]),
+                    (base + offsets[k]) % size,
+                )
+                for k in range(len(path) - 1)
+            ):
+                admissible.append(base)
+        return admissible
+
+    def _pick_slots(self, candidates: List[int], count: int) -> List[int]:
+        if self.policy == "first":
+            return sorted(candidates)[:count]
+        return _spread_pick(candidates, count, self.params.slot_table_size)
+
+    def _claim_channel(self, channel: AllocatedChannel) -> None:
+        claimed: List[Tuple[Tuple[str, str], int]] = []
+        try:
+            for edge, slot in channel.link_claims():
+                self.ledger.claim(edge, slot, channel.label)
+                claimed.append((edge, slot))
+        except SlotConflictError:
+            for edge, slot in claimed:
+                self.ledger.release(edge, slot, channel.label)
+            raise
+
+    # -- channel allocation --------------------------------------------------------
+
+    def allocate_channel(
+        self,
+        request: ChannelRequest,
+        path: Optional[Sequence[str]] = None,
+        link_delays: Optional[Sequence[int]] = None,
+    ) -> AllocatedChannel:
+        """Route and slot one unidirectional channel.
+
+        ``link_delays`` passes extra per-link pipeline slots through to
+        the allocated channel (pipelined-link extension).
+
+        Raises:
+            AllocationError: if too few admissible base slots remain on
+                the chosen path.
+        """
+        chosen_path = tuple(path) if path is not None else self._route(
+            request.src_ni, request.dst_ni
+        )
+        candidates = self.admissible_base_slots(
+            chosen_path, link_delays
+        )
+        if len(candidates) < request.slots:
+            raise AllocationError(
+                f"channel {request.label!r}: needs {request.slots} "
+                f"slots on path {chosen_path}, only {len(candidates)} "
+                f"admissible"
+            )
+        slots = self._pick_slots(candidates, request.slots)
+        channel = AllocatedChannel(
+            label=request.label,
+            path=chosen_path,
+            slots=frozenset(slots),
+            slot_table_size=self.params.slot_table_size,
+            link_delays=tuple(link_delays) if link_delays else (),
+        )
+        self._claim_channel(channel)
+        return channel
+
+    def release_channel(self, channel: AllocatedChannel) -> None:
+        """Return a channel's claims to the free pool."""
+        for edge, slot in channel.link_claims():
+            self.ledger.release(edge, slot, channel.label)
+
+    # -- connections ------------------------------------------------------------------
+
+    def allocate_connection(
+        self, request: ConnectionRequest
+    ) -> AllocatedConnection:
+        """Allocate the forward and reverse channels of a connection.
+
+        The reverse channel uses the reversed forward path, so both
+        directions traverse the same physical route (as daelite's paired
+        credit wiring expects).  On failure nothing stays claimed.
+        """
+        forward = self.allocate_channel(request.forward)
+        try:
+            reverse = self.allocate_channel(
+                request.reverse, path=tuple(reversed(forward.path))
+            )
+        except AllocationError:
+            self.release_channel(forward)
+            raise
+        return AllocatedConnection(
+            label=request.label, forward=forward, reverse=reverse
+        )
+
+    def release_connection(self, connection: AllocatedConnection) -> None:
+        self.release_channel(connection.forward)
+        self.release_channel(connection.reverse)
+
+    # -- multicast ---------------------------------------------------------------------
+
+    def allocate_multicast(
+        self, request: MulticastRequest
+    ) -> AllocatedMulticast:
+        """Build a multicast tree and slot it.
+
+        Destinations are grafted one by one onto the growing tree at
+        their cheapest graft point; the base slots must then be free on
+        *every* tree edge simultaneously (all branches share the
+        injection slots).
+
+        Raises:
+            AllocationError: if no slot set satisfies the whole tree.
+        """
+        src = request.src_ni
+        tree_path_to: Dict[str, Tuple[str, ...]] = {src: (src,)}
+        branches: List[Tuple[str, ...]] = []
+        for dst in sorted(
+            request.dst_nis,
+            key=lambda d: len(shortest_path(self.topology, src, d)),
+        ):
+            branch = path_via_tree(
+                self.topology,
+                list(tree_path_to),
+                tree_path_to,
+                dst,
+            )
+            branches.append(branch)
+            for position in range(1, len(branch)):
+                tree_path_to.setdefault(
+                    branch[position], branch[: position + 1]
+                )
+        size = self.params.slot_table_size
+        edge_positions: Dict[Tuple[str, str], int] = {}
+        for branch in branches:
+            for k in range(len(branch) - 1):
+                edge_positions.setdefault((branch[k], branch[k + 1]), k)
+        candidates = [
+            base
+            for base in range(size)
+            if all(
+                self.ledger.is_free(edge, (base + k + 1) % size)
+                for edge, k in edge_positions.items()
+            )
+        ]
+        if len(candidates) < request.slots:
+            raise AllocationError(
+                f"multicast {request.label!r}: needs {request.slots} "
+                f"slots over {len(edge_positions)} tree links, only "
+                f"{len(candidates)} admissible"
+            )
+        slots = frozenset(self._pick_slots(candidates, request.slots))
+        tree = AllocatedMulticast(
+            label=request.label,
+            paths=tuple(
+                AllocatedChannel(
+                    label=f"{request.label}->{branch[-1]}",
+                    path=branch,
+                    slots=slots,
+                    slot_table_size=size,
+                )
+                for branch in branches
+            ),
+        )
+        for edge, slot in tree.link_claims():
+            self.ledger.claim(edge, slot, request.label)
+        return tree
+
+    def release_multicast(self, tree: AllocatedMulticast) -> None:
+        for edge, slot in tree.link_claims():
+            self.ledger.release(edge, slot, tree.label)

@@ -1,0 +1,89 @@
+"""End-to-end buffer sizing from the credit-loop round trip.
+
+"A counter at the source keeps track of the available space in the
+destination queue" — so a connection can only sustain its guaranteed
+rate if the destination buffer covers the *bandwidth-delay product* of
+the credit loop: words keep flowing while earlier words' credits are
+still on their way back.  This module computes that bound analytically;
+the A3 ablation (`benchmarks/bench_ablation_credits.py`) shows the
+saturation curve empirically, and a property test checks that a buffer
+sized by this bound always reaches the full guaranteed rate.
+
+Round trip (worst case, consumer draining immediately):
+
+* forward scheduling wait  — up to ``max gap(fwd slots) x W`` cycles,
+* NI output pipeline + forward traversal — ``W + hop_cycles x H_f + 1``,
+* wait for the next reverse slot to carry credits — up to
+  ``max gap(rev slots) x W``,
+* reverse pipeline + traversal — ``W + hop_cycles x H_r + 1``.
+
+The required buffer is the forward rate times that round trip, rounded
+up to whole slots, plus one slot of burst slack.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..alloc.spec import AllocatedConnection
+from ..errors import ParameterError
+from ..params import NetworkParameters
+from .bounds import max_scheduling_wait_cycles, traversal_latency_cycles
+
+
+def credit_loop_cycles(
+    connection: AllocatedConnection, params: NetworkParameters
+) -> int:
+    """Worst-case cycles from sending a word to its credit being
+    usable at the source again."""
+    forward = connection.forward
+    reverse = connection.reverse
+    pipeline = params.words_per_slot
+    out = (
+        max_scheduling_wait_cycles(forward.slots, params)
+        + pipeline
+        + traversal_latency_cycles(forward.hops, params)
+    )
+    back = (
+        max_scheduling_wait_cycles(reverse.slots, params)
+        + pipeline
+        + traversal_latency_cycles(reverse.hops, params)
+    )
+    return out + back
+
+
+def required_buffer_words(
+    connection: AllocatedConnection, params: NetworkParameters
+) -> int:
+    """Smallest destination buffer that sustains the guaranteed rate.
+
+    Raises:
+        ParameterError: if the bound exceeds what the credit counter
+            can represent — the connection needs a wider counter or
+            more reverse slots.
+    """
+    rate = len(connection.forward.slots) / params.slot_table_size
+    loop = credit_loop_cycles(connection, params)
+    bound = math.ceil(rate * loop) + params.words_per_slot
+    if bound > params.max_credit_value:
+        raise ParameterError(
+            f"connection {connection.label!r} needs {bound} buffer "
+            f"words, beyond the {params.credit_counter_bits}-bit "
+            f"credit counter ({params.max_credit_value}); add reverse "
+            f"slots or widen the counter"
+        )
+    return bound
+
+
+def max_sustainable_rate(
+    connection: AllocatedConnection,
+    params: NetworkParameters,
+    buffer_words: int,
+) -> float:
+    """Throughput (words/cycle) a given buffer supports: the smaller of
+    the slot allocation and buffer/round-trip."""
+    if buffer_words < 1:
+        raise ParameterError("buffer must hold at least one word")
+    allocated = len(connection.forward.slots) / params.slot_table_size
+    loop = credit_loop_cycles(connection, params)
+    return min(allocated, buffer_words / loop)

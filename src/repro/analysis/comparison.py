@@ -1,0 +1,149 @@
+"""Table I — feature comparison with networks using similar concepts.
+
+The table is qualitative; we keep it as structured reference data (with
+the paper's footnotes) and render it in the same row/column layout so the
+benchmark harness can regenerate it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class NocFeatures:
+    """One column of Table I."""
+
+    name: str
+    link_sharing: str
+    routing: str
+    connection_setup: str
+    end_to_end_flow_control: str
+    connection_types: str
+    notes: Tuple[str, ...] = ()
+
+
+TABLE1: List[NocFeatures] = [
+    NocFeatures(
+        name="Aethereal",
+        link_sharing="TDM",
+        routing="source/distributed",
+        connection_setup="GS/BE, guaranteed",
+        end_to_end_flow_control="headers",
+        connection_types="1-1, multicast (see note)",
+        notes=(
+            "The distributed version could in theory support multicast "
+            "at network level, although a configuration solution was "
+            "not proposed; multicast was proposed using separate "
+            "connections for each target.",
+        ),
+    ),
+    NocFeatures(
+        name="aelite",
+        link_sharing="TDM",
+        routing="source",
+        connection_setup="GS",
+        end_to_end_flow_control="headers",
+        connection_types="1-1, channel trees",
+    ),
+    NocFeatures(
+        name="daelite",
+        link_sharing="TDM",
+        routing="distributed",
+        connection_setup="dedicated",
+        end_to_end_flow_control="separate wire, TDM",
+        connection_types="1-1, multicast",
+    ),
+    NocFeatures(
+        name="Kavaldjiev",
+        link_sharing="VCs",
+        routing="source",
+        connection_setup="packet, BE (see note)",
+        end_to_end_flow_control="none",
+        connection_types="1-1",
+        notes=(
+            "Guaranteed connections have preallocated VCs and setup is "
+            "assumed to always succeed.",
+        ),
+    ),
+    NocFeatures(
+        name="Wolkotte",
+        link_sharing="SDM",
+        routing="distributed",
+        connection_setup="separate BE",
+        end_to_end_flow_control="separate wire",
+        connection_types="1-1",
+    ),
+    NocFeatures(
+        name="Nostrum",
+        link_sharing="TDM, looped",
+        routing="unspecified (see note)",
+        connection_setup="container (see note)",
+        end_to_end_flow_control="none",
+        connection_types="1-1, multicast",
+        notes=(
+            "The paper only mentions that routes are decided at "
+            "run-time, possibly stored in a distributed fashion inside "
+            "the routers.",
+            "No explicit connection setup is required; containers can "
+            "be added and removed at will at runtime by any of the "
+            "nodes on the route, but lack of conflicts must be ensured.",
+        ),
+    ),
+    NocFeatures(
+        name="SoCBUS",
+        link_sharing="none",
+        routing="distributed",
+        connection_setup="packet, BE",
+        end_to_end_flow_control="none",
+        connection_types="1-1",
+    ),
+]
+
+_ASPECTS = [
+    ("Link sharing", "link_sharing"),
+    ("Routing", "routing"),
+    ("Connection Setup", "connection_setup"),
+    ("End-to-End Flow Cont", "end_to_end_flow_control"),
+    ("Connection types", "connection_types"),
+]
+
+
+def daelite_unique_combination() -> bool:
+    """daelite's headline claim: no other network in Table I combines
+    guaranteed TDM sharing, distributed routing, a dedicated set-up
+    mechanism, and native multicast."""
+    for noc in TABLE1:
+        if noc.name == "daelite":
+            continue
+        if (
+            noc.link_sharing.startswith("TDM")
+            and "distributed" in noc.routing
+            and "dedicated" in noc.connection_setup
+            and "multicast" in noc.connection_types
+        ):
+            return False
+    return True
+
+
+def render_table1() -> str:
+    """Render Table I as aligned text, networks as columns."""
+    names = [noc.name for noc in TABLE1]
+    width = max(
+        [len(label) for label, _ in _ASPECTS]
+        + [len(getattr(noc, attr)) for noc in TABLE1 for _, attr in _ASPECTS]
+        + [len(name) for name in names]
+    )
+    lines = []
+    header = "Aspect".ljust(22) + " | " + " | ".join(
+        name.ljust(width) for name in names
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, attr in _ASPECTS:
+        row = label.ljust(22) + " | " + " | ".join(
+            getattr(noc, attr).ljust(width) for noc in TABLE1
+        )
+        lines.append(row)
+    return "\n".join(lines)

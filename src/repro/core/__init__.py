@@ -1,0 +1,104 @@
+"""The daelite NoC: routers, NIs, configuration network, host driver."""
+
+from .config_network import ConfigModule, ConfigRequest
+from .config_protocol import (
+    Action,
+    BusConfigAction,
+    ChannelField,
+    ChannelReadAction,
+    ChannelWriteAction,
+    ConfigDecoder,
+    ConfigPacket,
+    Direction,
+    DISCONNECT_PORT_WORD,
+    FLAG_ENABLED,
+    FLAG_FLOW_CONTROLLED,
+    NiPathAction,
+    Opcode,
+    PathHop,
+    RouterPathAction,
+    build_bus_config_packet,
+    build_channel_config_packet,
+    build_channel_read_packet,
+    build_path_packet,
+    decode_ni_channel_word,
+    decode_router_port_word,
+    element_word,
+    header_word,
+    ni_channel_word,
+    router_port_word,
+)
+from .config_port import ConfigPort
+from .credits import DestChannel, SourceChannel
+from .host import (
+    ChannelEndpoints,
+    ConnectionHandle,
+    Host,
+    MulticastHandle,
+    SetupHandle,
+)
+from .multicast import channel_path_packet, multicast_path_packets
+from .network import DaeliteNetwork
+from .online import (
+    OnlineConnectionManager,
+    OpenConnection,
+    OpenMulticast,
+)
+from .ni import NetworkInterface
+from .router import Router
+from .slot_table import (
+    NiArrivalTable,
+    NiInjectionTable,
+    RouterSlotTable,
+    SlotMask,
+)
+
+__all__ = [
+    "ConfigModule",
+    "ConfigRequest",
+    "Action",
+    "BusConfigAction",
+    "ChannelField",
+    "ChannelReadAction",
+    "ChannelWriteAction",
+    "ConfigDecoder",
+    "ConfigPacket",
+    "Direction",
+    "DISCONNECT_PORT_WORD",
+    "FLAG_ENABLED",
+    "FLAG_FLOW_CONTROLLED",
+    "NiPathAction",
+    "Opcode",
+    "PathHop",
+    "RouterPathAction",
+    "build_bus_config_packet",
+    "build_channel_config_packet",
+    "build_channel_read_packet",
+    "build_path_packet",
+    "decode_ni_channel_word",
+    "decode_router_port_word",
+    "element_word",
+    "header_word",
+    "ni_channel_word",
+    "router_port_word",
+    "ConfigPort",
+    "DestChannel",
+    "SourceChannel",
+    "ChannelEndpoints",
+    "ConnectionHandle",
+    "Host",
+    "MulticastHandle",
+    "SetupHandle",
+    "channel_path_packet",
+    "multicast_path_packets",
+    "DaeliteNetwork",
+    "OnlineConnectionManager",
+    "OpenConnection",
+    "OpenMulticast",
+    "NetworkInterface",
+    "Router",
+    "NiArrivalTable",
+    "NiInjectionTable",
+    "RouterSlotTable",
+    "SlotMask",
+]

@@ -1,0 +1,183 @@
+"""The host's configuration module — root of the broadcast tree.
+
+"One IP, by convention called host, has exclusive control over the
+configuration infrastructure through a configuration module."  The host
+writes wide words to the module "using normal write operations"; the
+module serializes them into 7-bit configuration words, one per cycle, onto
+the root configuration link.  After every complete packet the module
+enforces a cool-down period "during which no new configuration packets are
+accepted", giving all elements time to commit their slot-table updates.
+
+The module is also the termination of the response path, collecting the
+words produced by CHANNEL_READ packets.  Only one request may be active at
+a time; further requests queue inside the module.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional
+
+from ..errors import ConfigurationError
+from ..params import NetworkParameters
+from ..sim.kernel import Component
+from ..sim.link import NarrowLink
+from ..topology import CONFIG_HOP_CYCLES, ConfigTree
+from .config_protocol import ConfigPacket, Opcode
+
+
+@dataclass
+class ConfigRequest:
+    """A packet submitted to the configuration module, with its timeline.
+
+    Attributes:
+        packet: The serialized configuration packet.
+        expected_responses: Response words to wait for (CHANNEL_READ).
+        submitted_at: Cycle the host handed the packet to the module.
+        started_at: Cycle the first word left the module.
+        finished_at: Cycle the request fully completed (cool-down elapsed
+            and, for reads, all responses received).
+        responses: Response words received, in order.
+    """
+
+    packet: ConfigPacket
+    expected_responses: int = 0
+    submitted_at: int = -1
+    started_at: int = -1
+    finished_at: int = -1
+    responses: List[int] = field(default_factory=list)
+    on_complete: Optional[Callable[["ConfigRequest"], None]] = None
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at >= 0
+
+    @property
+    def setup_cycles(self) -> int:
+        """Cycles from submission to completion.
+
+        Raises:
+            ConfigurationError: if the request has not completed.
+        """
+        if not self.done:
+            raise ConfigurationError("request not complete yet")
+        return self.finished_at - self.submitted_at
+
+
+class ConfigModule(Component):
+    """Serializer / response collector at the root of the config tree.
+
+    Attributes:
+        root_link: Narrow link feeding the root element of the tree.
+        response_link: Narrow link on which responses arrive.
+        word_queue: Words of the packet currently being transmitted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: NetworkParameters,
+        tree: ConfigTree,
+    ) -> None:
+        super().__init__(name)
+        self.params = params
+        self.tree = tree
+        self.root_link: Optional[NarrowLink] = None
+        self.response_link: Optional[NarrowLink] = None
+        self._pending: Deque[ConfigRequest] = deque()
+        self._active: Optional[ConfigRequest] = None
+        self._word_queue: Deque[int] = deque()
+        self._busy_until = 0
+        self.completed: List[ConfigRequest] = []
+
+    # -- host-facing API -------------------------------------------------------
+
+    def submit(
+        self,
+        packet: ConfigPacket,
+        cycle: int,
+        expected_responses: Optional[int] = None,
+        on_complete: Optional[Callable[[ConfigRequest], None]] = None,
+    ) -> ConfigRequest:
+        """Queue a configuration packet for transmission.
+
+        ``expected_responses`` defaults to 1 for CHANNEL_READ packets and
+        0 otherwise.
+        """
+        if expected_responses is None:
+            expected_responses = (
+                1 if packet.opcode is Opcode.CHANNEL_READ else 0
+            )
+        request = ConfigRequest(
+            packet=packet,
+            expected_responses=expected_responses,
+            submitted_at=cycle,
+            on_complete=on_complete,
+        )
+        self._pending.append(request)
+        return request
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is being transmitted or cooling down."""
+        return self._active is not None or bool(self._pending)
+
+    @property
+    def commit_latency(self) -> int:
+        """Cycles after the last word until the farthest element has seen
+        the end-of-packet gap and committed its updates."""
+        return CONFIG_HOP_CYCLES * self.tree.max_depth + 1
+
+    # -- cycle behaviour ---------------------------------------------------------
+
+    def evaluate(self, cycle: int) -> None:
+        self._collect_response(cycle)
+        if self._active is None and self._pending and (
+            cycle >= self._busy_until
+        ):
+            self._active = self._pending.popleft()
+            self._active.started_at = cycle
+            self._word_queue.extend(self._active.packet.words)
+        if self._active is None:
+            return
+        if self._word_queue:
+            word = self._word_queue.popleft()
+            if self.root_link is not None:
+                self.root_link.send(word)
+            if not self._word_queue:
+                # Last word sent: the gap follows next cycle.  Cool-down
+                # starts after the whole tree has seen the gap.
+                self._busy_until = (
+                    cycle
+                    + 1
+                    + self.commit_latency
+                    + self.params.cooldown_cycles
+                )
+            return
+        # Transmission finished; wait for cool-down and responses.
+        responses_done = (
+            len(self._active.responses) >= self._active.expected_responses
+        )
+        if cycle >= self._busy_until and responses_done:
+            self._finish(cycle)
+
+    def _collect_response(self, cycle: int) -> None:
+        if self.response_link is None or self._active is None:
+            return
+        word = self.response_link.incoming
+        if word is None:
+            return
+        if len(self._active.responses) >= self._active.expected_responses:
+            raise ConfigurationError(
+                f"{self.name}: unexpected response word {word:#x}"
+            )
+        self._active.responses.append(word)
+
+    def _finish(self, cycle: int) -> None:
+        assert self._active is not None
+        self._active.finished_at = cycle
+        self.completed.append(self._active)
+        if self._active.on_complete is not None:
+            self._active.on_complete(self._active)
+        self._active = None

@@ -1,0 +1,101 @@
+"""The configuration submodule shared by routers and NIs.
+
+Every network element is also a node of the configuration broadcast tree:
+it receives configuration words from its tree parent, forwards them to a
+parameterizable number of children (buffered once, so together with the
+link register a tree hop costs 2 cycles, "for reasons of symmetry"), and
+feeds its own :class:`~repro.core.config_protocol.ConfigDecoder`.
+
+Responses (for CHANNEL_READ) travel the reverse tree.  "There is no
+arbitration on the response path and as a result a policy of only one
+active request at a time is enforced" — if two children (or a child and
+the local element) drive a response in the same cycle, the model raises
+:class:`~repro.errors.SimulationError`, which is exactly the corruption
+real hardware would suffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..errors import SimulationError
+from ..sim.kernel import Component, Register
+from ..sim.link import NarrowLink
+from ..topology import ElementKind
+from .config_protocol import Action, ConfigDecoder
+
+
+class ConfigPort:
+    """Configuration-tree endpoint embedded in a network element.
+
+    Wiring (done by the network builder):
+
+    * :attr:`in_link` — narrow link from the tree parent (or the
+      configuration module, for the root element).
+    * :attr:`child_links` — narrow links to tree children, driven here.
+    * :attr:`resp_child_links` — children's response links, read here.
+    * :attr:`resp_out_link` — response link towards the parent.
+    """
+
+    def __init__(
+        self,
+        owner: Component,
+        element_id: int,
+        kind: ElementKind,
+        slot_table_size: int,
+        word_bits: int = 7,
+    ) -> None:
+        self.owner = owner
+        self.in_link: Optional[NarrowLink] = None
+        self.child_links: List[NarrowLink] = []
+        self.resp_child_links: List[NarrowLink] = []
+        self.resp_out_link: Optional[NarrowLink] = None
+        self._fwd_reg: Register = owner.make_register("cfg_fwd")
+        self._resp_reg: Register = owner.make_register("cfg_resp")
+        self.decoder = ConfigDecoder(
+            element_id=element_id,
+            kind=kind,
+            slot_table_size=slot_table_size,
+            word_bits=word_bits,
+        )
+        #: Response words queued by the owning element (read results).
+        self.response_queue: Deque[int] = deque()
+
+    def evaluate(self, cycle: int) -> List[Action]:
+        """One cycle of the config submodule; returns decoded actions.
+
+        Actions are non-empty only on the gap cycle ending a packet that
+        addressed the owning element.
+        """
+        word = self.in_link.incoming if self.in_link is not None else None
+
+        # Forward direction: buffer once, then broadcast to all children.
+        if word is not None:
+            self._fwd_reg.drive(word)
+        forwarded = self._fwd_reg.q
+        if forwarded is not None:
+            for link in self.child_links:
+                link.send(forwarded)
+
+        # Response direction: merge children and the local element.
+        candidates = [
+            link.incoming
+            for link in self.resp_child_links
+            if link.incoming is not None
+        ]
+        if self.response_queue:
+            candidates.append(self.response_queue.popleft())
+        if len(candidates) > 1:
+            raise SimulationError(
+                f"{self.owner.name}: {len(candidates)} simultaneous "
+                f"config responses — the one-request-at-a-time policy "
+                f"was violated"
+            )
+        if candidates:
+            self._resp_reg.drive(candidates[0])
+        response = self._resp_reg.q
+        if response is not None and self.resp_out_link is not None:
+            self.resp_out_link.send(response)
+
+        return self.decoder.feed(word)

@@ -1,0 +1,451 @@
+"""The host controller: turns allocations into configuration requests.
+
+"A typical usage scenario is that the required connections are set up
+before starting an application or an execution phase of an application."
+The host IP owns the configuration module; this class models the host's
+driver software: it assigns NI channel indices, compiles
+:class:`~repro.alloc.spec.AllocatedConnection` /
+:class:`~repro.alloc.spec.AllocatedMulticast` objects into configuration
+packets, submits them, and tracks completion so set-up and tear-down
+times can be measured exactly.
+
+Packet order for a connection follows the safety rule implied by the
+paper's destination-first encoding: everything downstream is configured
+before the source channel is finally enabled, so no word is ever sent
+into an unconfigured path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..alloc.spec import (
+    AllocatedChannel,
+    AllocatedConnection,
+    AllocatedMulticast,
+)
+from ..errors import ConfigurationError
+from ..params import NetworkParameters
+from ..topology import Topology
+from .config_network import ConfigModule, ConfigRequest
+from .config_protocol import (
+    ChannelField,
+    ConfigPacket,
+    Direction,
+    FLAG_ENABLED,
+    FLAG_FLOW_CONTROLLED,
+    build_bus_config_packet,
+    build_channel_config_packet,
+    build_channel_read_packet,
+)
+from .multicast import channel_path_packet, multicast_path_packets
+
+
+@dataclass
+class ChannelEndpoints:
+    """Channel indices assigned to one allocated channel."""
+
+    channel: AllocatedChannel
+    src_channel: int
+    dst_channel: int
+
+
+@dataclass
+class SetupHandle:
+    """Tracks the configuration requests of one set-up or tear-down.
+
+    Attributes:
+        label: Connection or multicast label.
+        requests: The submitted configuration requests, in order.
+    """
+
+    label: str
+    requests: List[ConfigRequest] = field(default_factory=list)
+
+    @property
+    def done(self) -> bool:
+        return all(request.done for request in self.requests)
+
+    @property
+    def submitted_at(self) -> int:
+        return self.requests[0].submitted_at if self.requests else -1
+
+    @property
+    def finished_at(self) -> int:
+        if not self.done:
+            raise ConfigurationError(f"{self.label!r} not complete yet")
+        return max(request.finished_at for request in self.requests)
+
+    @property
+    def setup_cycles(self) -> int:
+        """Cycles from first submission to last completion."""
+        return self.finished_at - self.submitted_at
+
+    @property
+    def config_words(self) -> int:
+        """Total configuration words transmitted."""
+        return sum(len(request.packet) for request in self.requests)
+
+
+@dataclass
+class ConnectionHandle(SetupHandle):
+    """A configured bidirectional connection."""
+
+    forward: Optional[ChannelEndpoints] = None
+    reverse: Optional[ChannelEndpoints] = None
+
+
+@dataclass
+class MulticastHandle(SetupHandle):
+    """A configured multicast tree."""
+
+    tree: Optional[AllocatedMulticast] = None
+    src_channel: int = -1
+    dst_channels: Dict[str, int] = field(default_factory=dict)
+
+
+class Host:
+    """Driver for the configuration module.
+
+    Attributes:
+        topology: The network topology (for element IDs and ports).
+        module: The configuration module at the tree root.
+        params: Network parameters.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        module: ConfigModule,
+        params: NetworkParameters,
+        cycle_supplier: Callable[[], int],
+        channel_buffer_words: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.module = module
+        self.params = params
+        self._cycle = cycle_supplier
+        self._buffer_words = (
+            channel_buffer_words
+            if channel_buffer_words is not None
+            else params.channel_buffer_words
+        )
+        self._next_channel: Dict[str, int] = {}
+
+    # -- channel index management ----------------------------------------------
+
+    def allocate_channel_index(self, ni_name: str) -> int:
+        """Next free channel index at an NI (indices are never reused;
+        64 per NI suffice for the supported network sizes).
+
+        Raises:
+            ConfigurationError: if the NI ran out of channel indices.
+        """
+        index = self._next_channel.get(ni_name, 0)
+        if index >= 64:
+            raise ConfigurationError(
+                f"NI {ni_name!r} exhausted its 64 channel indices"
+            )
+        self._next_channel[ni_name] = index + 1
+        return index
+
+    def _endpoints(self, channel: AllocatedChannel) -> ChannelEndpoints:
+        """Assign source and destination channel indices for a channel."""
+        return ChannelEndpoints(
+            channel=channel,
+            src_channel=self.allocate_channel_index(channel.src_ni),
+            dst_channel=self.allocate_channel_index(channel.dst_ni),
+        )
+
+    def _submit(
+        self, handle: SetupHandle, packet: ConfigPacket
+    ) -> ConfigRequest:
+        request = self.module.submit(packet, cycle=self._cycle())
+        handle.requests.append(request)
+        return request
+
+    # -- connections -------------------------------------------------------------
+
+    def setup_connection(
+        self, connection: AllocatedConnection
+    ) -> ConnectionHandle:
+        """Submit all packets that set up a bidirectional connection.
+
+        Six packets: the two path packets, then channel registers for
+        the four endpoints; the forward source channel is enabled last.
+        """
+        handle = ConnectionHandle(label=connection.label)
+        forward = self._endpoints(connection.forward)
+        reverse = self._endpoints(connection.reverse)
+        handle.forward = forward
+        handle.reverse = reverse
+        self._submit(
+            handle,
+            channel_path_packet(
+                self.topology,
+                connection.forward,
+                src_channel=forward.src_channel,
+                dst_channel=forward.dst_channel,
+                word_bits=self.params.config_word_bits,
+            ),
+        )
+        self._submit(
+            handle,
+            channel_path_packet(
+                self.topology,
+                connection.reverse,
+                src_channel=reverse.src_channel,
+                dst_channel=reverse.dst_channel,
+                word_bits=self.params.config_word_bits,
+            ),
+        )
+        flags = FLAG_ENABLED | FLAG_FLOW_CONTROLLED
+        # Forward-data arrival queue at the destination NI; its credits
+        # ride on the reverse channel, whose source endpoint lives in the
+        # same NI.
+        self._configure_endpoint(
+            handle,
+            ni=connection.forward.dst_ni,
+            direction=Direction.ARRIVE,
+            channel=forward.dst_channel,
+            flags=flags,
+            paired=reverse.src_channel,
+        )
+        # Reverse-data arrival queue at the source NI, paired with the
+        # forward source endpoint.
+        self._configure_endpoint(
+            handle,
+            ni=connection.reverse.dst_ni,
+            direction=Direction.ARRIVE,
+            channel=reverse.dst_channel,
+            flags=flags,
+            paired=forward.src_channel,
+        )
+        # Reverse source endpoint (at the forward destination NI).
+        self._configure_endpoint(
+            handle,
+            ni=connection.reverse.src_ni,
+            direction=Direction.INJECT,
+            channel=reverse.src_channel,
+            flags=flags,
+            paired=forward.dst_channel,
+            credits=self._buffer_words,
+        )
+        # Forward source endpoint — enabled last.
+        self._configure_endpoint(
+            handle,
+            ni=connection.forward.src_ni,
+            direction=Direction.INJECT,
+            channel=forward.src_channel,
+            flags=flags,
+            paired=reverse.dst_channel,
+            credits=self._buffer_words,
+        )
+        return handle
+
+    def teardown_connection(
+        self, handle: ConnectionHandle, connection: AllocatedConnection
+    ) -> SetupHandle:
+        """Disable both source endpoints, then clear the path entries."""
+        if handle.forward is None or handle.reverse is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        teardown = SetupHandle(label=f"{handle.label}.teardown")
+        for endpoints, channel in (
+            (handle.forward, connection.forward),
+            (handle.reverse, connection.reverse),
+        ):
+            self._configure_endpoint(
+                teardown,
+                ni=channel.src_ni,
+                direction=Direction.INJECT,
+                channel=endpoints.src_channel,
+                flags=0,
+            )
+        for endpoints, channel in (
+            (handle.forward, connection.forward),
+            (handle.reverse, connection.reverse),
+        ):
+            self._submit(
+                teardown,
+                channel_path_packet(
+                    self.topology,
+                    channel,
+                    src_channel=endpoints.src_channel,
+                    dst_channel=endpoints.dst_channel,
+                    teardown=True,
+                    word_bits=self.params.config_word_bits,
+                ),
+            )
+        return teardown
+
+    def setup_paths(
+        self, connection: AllocatedConnection
+    ) -> SetupHandle:
+        """Set up just the request and response paths of a connection.
+
+        This is the Table III quantity: two path packets (forward and
+        reverse), no channel-register traffic.
+        """
+        handle = SetupHandle(label=f"{connection.label}.paths")
+        for channel in (connection.forward, connection.reverse):
+            src_channel = self.allocate_channel_index(channel.src_ni)
+            dst_channel = self.allocate_channel_index(channel.dst_ni)
+            self._submit(
+                handle,
+                channel_path_packet(
+                    self.topology,
+                    channel,
+                    src_channel=src_channel,
+                    dst_channel=dst_channel,
+                    word_bits=self.params.config_word_bits,
+                ),
+            )
+        return handle
+
+    def setup_path_only(
+        self, channel: AllocatedChannel
+    ) -> SetupHandle:
+        """Set up just the slot-table entries of one channel.
+
+        This is the quantity Table III reports ("the number of cycles
+        required to set up one connection" as a function of path length):
+        a single path packet plus the cool-down.
+        """
+        handle = SetupHandle(label=f"{channel.label}.path")
+        src_channel = self.allocate_channel_index(channel.src_ni)
+        dst_channel = self.allocate_channel_index(channel.dst_ni)
+        self._submit(
+            handle,
+            channel_path_packet(
+                self.topology,
+                channel,
+                src_channel=src_channel,
+                dst_channel=dst_channel,
+                word_bits=self.params.config_word_bits,
+            ),
+        )
+        return handle
+
+    # -- multicast ------------------------------------------------------------------
+
+    def setup_multicast(
+        self, tree: AllocatedMulticast
+    ) -> MulticastHandle:
+        """Set up a multicast tree: trunk, branch segments, channels.
+
+        Multicast runs without end-to-end flow control ("the default
+        flow-control mechanism cannot be used"), so the endpoints are
+        enabled without FLAG_FLOW_CONTROLLED and need no credit or
+        pairing registers.
+        """
+        handle = MulticastHandle(label=tree.label, tree=tree)
+        handle.src_channel = self.allocate_channel_index(tree.src_ni)
+        for dst in tree.dst_nis:
+            handle.dst_channels[dst] = self.allocate_channel_index(dst)
+        for packet in multicast_path_packets(
+            self.topology,
+            tree,
+            src_channel=handle.src_channel,
+            dst_channels=handle.dst_channels,
+            word_bits=self.params.config_word_bits,
+        ):
+            self._submit(handle, packet)
+        for dst in tree.dst_nis:
+            self._configure_endpoint(
+                handle,
+                ni=dst,
+                direction=Direction.ARRIVE,
+                channel=handle.dst_channels[dst],
+                flags=FLAG_ENABLED,
+            )
+        self._configure_endpoint(
+            handle,
+            ni=tree.src_ni,
+            direction=Direction.INJECT,
+            channel=handle.src_channel,
+            flags=FLAG_ENABLED,
+        )
+        return handle
+
+    def teardown_multicast(self, handle: MulticastHandle) -> SetupHandle:
+        """Disable the source, then clear trunk and branch entries."""
+        if handle.tree is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        teardown = SetupHandle(label=f"{handle.label}.teardown")
+        self._configure_endpoint(
+            teardown,
+            ni=handle.tree.src_ni,
+            direction=Direction.INJECT,
+            channel=handle.src_channel,
+            flags=0,
+        )
+        for packet in multicast_path_packets(
+            self.topology,
+            handle.tree,
+            src_channel=handle.src_channel,
+            dst_channels=handle.dst_channels,
+            teardown=True,
+            word_bits=self.params.config_word_bits,
+        ):
+            self._submit(teardown, packet)
+        return teardown
+
+    # -- register access -----------------------------------------------------------
+
+    def _configure_endpoint(
+        self,
+        handle: SetupHandle,
+        ni: str,
+        direction: Direction,
+        channel: int,
+        flags: int,
+        paired: Optional[int] = None,
+        credits: Optional[int] = None,
+    ) -> None:
+        fields = []
+        if credits is not None:
+            fields.append((ChannelField.CREDIT, credits))
+        if paired is not None:
+            fields.append((ChannelField.PAIRED, paired))
+        fields.append((ChannelField.FLAGS, flags))
+        packet = build_channel_config_packet(
+            element_id=self.topology.element(ni).element_id,
+            direction=direction,
+            channel=channel,
+            fields=fields,
+            word_bits=self.params.config_word_bits,
+        )
+        self._submit(handle, packet)
+
+    def read_channel_register(
+        self,
+        ni: str,
+        direction: Direction,
+        channel: int,
+        register: ChannelField,
+    ) -> ConfigRequest:
+        """Read back one NI channel register over the response path."""
+        packet = build_channel_read_packet(
+            element_id=self.topology.element(ni).element_id,
+            direction=direction,
+            channel=channel,
+            field_id=register,
+            word_bits=self.params.config_word_bits,
+        )
+        return self.module.submit(
+            packet, cycle=self._cycle(), expected_responses=1
+        )
+
+    def configure_bus(self, ni: str, payload: List[int]) -> ConfigRequest:
+        """Send raw configuration words to an NI's bus-config shell."""
+        packet = build_bus_config_packet(
+            element_id=self.topology.element(ni).element_id,
+            payload=payload,
+            word_bits=self.params.config_word_bits,
+        )
+        return self.module.submit(packet, cycle=self._cycle())

@@ -1,0 +1,191 @@
+"""On-line connection management over a live network.
+
+"The schedule which guarantees contention-free routing for an application
+is typically computed at design time, although computation at run-time is
+also possible [22], [30]."  This module is that run-time flavour: an
+:class:`OnlineConnectionManager` owns both the slot-allocation ledger and
+the host driver, so connections (and multicast trees) can be opened and
+closed dynamically against the live network — the software a host
+processor would actually run.
+
+All operations go through the real configuration network, so opening a
+connection costs exactly the set-up time of Table III and never disturbs
+established traffic (contention freedom is maintained by the ledger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..alloc.slot_alloc import SlotAllocator
+from ..alloc.spec import (
+    AllocatedConnection,
+    AllocatedMulticast,
+    ConnectionRequest,
+    MulticastRequest,
+)
+from ..errors import AllocationError, ConfigurationError
+from .host import ConnectionHandle, MulticastHandle, SetupHandle
+from .network import DaeliteNetwork
+
+
+@dataclass
+class OpenConnection:
+    """A live connection and its bookkeeping."""
+
+    request: ConnectionRequest
+    allocation: AllocatedConnection
+    handle: ConnectionHandle
+    opened_at: int
+    setup_cycles: int
+
+
+@dataclass
+class OpenMulticast:
+    """A live multicast tree and its bookkeeping."""
+
+    request: MulticastRequest
+    allocation: AllocatedMulticast
+    handle: MulticastHandle
+    opened_at: int
+    setup_cycles: int
+
+
+class OnlineConnectionManager:
+    """Run-time open/close of connections on a daelite network.
+
+    Attributes:
+        network: The live network being managed.
+        allocator: The ledger of (link, slot) claims; shared by every
+            open connection so new requests never conflict with
+            established ones.
+    """
+
+    def __init__(
+        self,
+        network: DaeliteNetwork,
+        routing: str = "shortest",
+        policy: str = "spread",
+    ) -> None:
+        self.network = network
+        self.allocator = SlotAllocator(
+            topology=network.topology,
+            params=network.params,
+            routing=routing,
+            policy=policy,
+        )
+        self.connections: Dict[str, OpenConnection] = {}
+        self.multicasts: Dict[str, OpenMulticast] = {}
+        #: Completed set-up/tear-down times, for run-time statistics.
+        self.setup_history: List[int] = []
+        self.teardown_history: List[int] = []
+
+    # -- connections ------------------------------------------------------------
+
+    def open_connection(
+        self, request: ConnectionRequest
+    ) -> OpenConnection:
+        """Allocate, configure, and activate a connection.
+
+        Blocks (runs the simulator) until the configuration completes.
+
+        Raises:
+            AllocationError: if no contention-free slots remain, or the
+                label is already open.  The network is left untouched.
+        """
+        if request.label in self.connections:
+            raise AllocationError(
+                f"connection {request.label!r} already open"
+            )
+        allocation = self.allocator.allocate_connection(request)
+        opened_at = self.network.kernel.cycle
+        try:
+            handle = self.network.host.setup_connection(allocation)
+            setup_cycles = self.network.run_until_configured(handle)
+        except Exception:
+            self.allocator.release_connection(allocation)
+            raise
+        record = OpenConnection(
+            request=request,
+            allocation=allocation,
+            handle=handle,
+            opened_at=opened_at,
+            setup_cycles=setup_cycles,
+        )
+        self.connections[request.label] = record
+        self.setup_history.append(setup_cycles)
+        return record
+
+    def close_connection(self, label: str) -> int:
+        """Tear down a connection and release its slots.
+
+        Returns the tear-down time in cycles.
+
+        Raises:
+            ConfigurationError: if the label is not open.
+        """
+        record = self.connections.pop(label, None)
+        if record is None:
+            raise ConfigurationError(f"connection {label!r} not open")
+        teardown = self.network.host.teardown_connection(
+            record.handle, record.allocation
+        )
+        cycles = self.network.run_until_configured(teardown)
+        self.allocator.release_connection(record.allocation)
+        self.teardown_history.append(cycles)
+        return cycles
+
+    # -- multicast ----------------------------------------------------------------
+
+    def open_multicast(self, request: MulticastRequest) -> OpenMulticast:
+        """Allocate, configure, and activate a multicast tree."""
+        if request.label in self.multicasts:
+            raise AllocationError(
+                f"multicast {request.label!r} already open"
+            )
+        allocation = self.allocator.allocate_multicast(request)
+        opened_at = self.network.kernel.cycle
+        try:
+            handle = self.network.host.setup_multicast(allocation)
+            setup_cycles = self.network.run_until_configured(handle)
+        except Exception:
+            self.allocator.release_multicast(allocation)
+            raise
+        record = OpenMulticast(
+            request=request,
+            allocation=allocation,
+            handle=handle,
+            opened_at=opened_at,
+            setup_cycles=setup_cycles,
+        )
+        self.multicasts[request.label] = record
+        self.setup_history.append(setup_cycles)
+        return record
+
+    def close_multicast(self, label: str) -> int:
+        """Tear down a multicast tree and release its slots."""
+        record = self.multicasts.pop(label, None)
+        if record is None:
+            raise ConfigurationError(f"multicast {label!r} not open")
+        teardown = self.network.host.teardown_multicast(record.handle)
+        cycles = self.network.run_until_configured(teardown)
+        self.allocator.release_multicast(record.allocation)
+        self.teardown_history.append(cycles)
+        return cycles
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def open_labels(self) -> List[str]:
+        return sorted(self.connections) + sorted(self.multicasts)
+
+    @property
+    def claimed_slots(self) -> int:
+        """Total (link, slot) pairs currently claimed."""
+        return self.allocator.ledger.total_claims()
+
+    def mean_setup_cycles(self) -> Optional[float]:
+        if not self.setup_history:
+            return None
+        return sum(self.setup_history) / len(self.setup_history)

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the daelite reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch any failure of the toolflow or the simulator with a single clause
+while still being able to discriminate the precise cause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError):
+    """A network or component parameter is out of its legal range."""
+
+
+class TopologyError(ReproError):
+    """The requested topology is malformed or an element does not exist."""
+
+
+class AllocationError(ReproError):
+    """The slot allocator could not satisfy a connection request."""
+
+
+class RoutingError(AllocationError):
+    """No admissible path exists between two network interfaces."""
+
+
+class SlotConflictError(AllocationError):
+    """Two connections claim the same (link, slot) pair."""
+
+
+class ScheduleError(ReproError):
+    """A computed schedule violates the contention-free invariant."""
+
+
+class ConfigurationError(ReproError):
+    """The configuration network rejected or corrupted a request."""
+
+
+class ConfigBusyError(ConfigurationError):
+    """A configuration request was issued while another is outstanding."""
+
+
+class ProtocolError(ConfigurationError):
+    """A configuration packet is malformed or cannot be decoded."""
+
+
+class SimulationError(ReproError):
+    """The cycle simulator detected an inconsistency (e.g. word collision)."""
+
+
+class FlowControlError(SimulationError):
+    """End-to-end credit accounting was violated."""
+
+
+class TrafficError(ReproError):
+    """A traffic generator or sink was misused."""

@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's evaluated system (its future work)."""
+
+from .channel_trees import (
+    FLOW_TAG_BITS,
+    FlowStats,
+    SharedChannel,
+    tag_payload,
+    untag_payload,
+)
+from .pipelined import (
+    PAD_ELEMENT_ID,
+    LinkRelay,
+    PipelinedDaeliteNetwork,
+    pipelined_path_packet,
+)
+
+__all__ = [
+    "FLOW_TAG_BITS",
+    "FlowStats",
+    "SharedChannel",
+    "tag_payload",
+    "untag_payload",
+    "PAD_ELEMENT_ID",
+    "LinkRelay",
+    "PipelinedDaeliteNetwork",
+    "pipelined_path_packet",
+]

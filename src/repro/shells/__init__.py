@@ -1,0 +1,40 @@
+"""Protocol shells, local buses, and memory slaves (the Fig. 3 platform)."""
+
+from .bus import AddressRange, LocalBus
+from .memory import MemorySlave
+from .messages import (
+    MAX_BURST_WORDS,
+    ReadResult,
+    Transaction,
+    TransactionKind,
+    decode_command,
+    decode_response_header,
+    encode_request,
+    encode_response,
+)
+from .shell import (
+    ChannelPorts,
+    InitiatorShell,
+    TargetShell,
+    aelite_ports,
+    daelite_ports,
+)
+
+__all__ = [
+    "AddressRange",
+    "LocalBus",
+    "MemorySlave",
+    "MAX_BURST_WORDS",
+    "ReadResult",
+    "Transaction",
+    "TransactionKind",
+    "decode_command",
+    "decode_response_header",
+    "encode_request",
+    "encode_response",
+    "ChannelPorts",
+    "InitiatorShell",
+    "TargetShell",
+    "aelite_ports",
+    "daelite_ports",
+]

@@ -1,0 +1,82 @@
+"""Lightweight local buses.
+
+"IPs are connected to lightweight local buses which only (de)multiplex
+transactions to and from different network connections."  A
+:class:`LocalBus` routes IP transactions by address range to initiator
+shells (and through them, to connections); it holds no state beyond the
+address map and adds no cycles — exactly the paper's lightweight demux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import TrafficError
+from .messages import ReadResult, Transaction
+from .shell import InitiatorShell
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A decoded address window of the bus."""
+
+    base: int
+    size: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise TrafficError(f"invalid address range {self}")
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.base < other.base + other.size and (
+            other.base < self.base + self.size
+        )
+
+
+class LocalBus:
+    """Demultiplexes master transactions to per-connection shells."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._regions: List[tuple] = []
+
+    def map_region(
+        self, region: AddressRange, shell: InitiatorShell
+    ) -> None:
+        """Attach an initiator shell to an address window.
+
+        Raises:
+            TrafficError: if the window overlaps an existing one.
+        """
+        for existing, _ in self._regions:
+            if existing.overlaps(region):
+                raise TrafficError(
+                    f"{self.name}: region {region} overlaps {existing}"
+                )
+        self._regions.append((region, shell))
+
+    def _decode(self, address: int) -> InitiatorShell:
+        for region, shell in self._regions:
+            if region.contains(address):
+                return shell
+        raise TrafficError(
+            f"{self.name}: address {address:#x} decodes to no region"
+        )
+
+    def write(self, address: int, data: List[int]) -> Transaction:
+        """Route a write burst to the owning shell."""
+        return self._decode(address).write(address, data)
+
+    def read(self, address: int, length: int) -> ReadResult:
+        """Route a read burst to the owning shell."""
+        return self._decode(address).read(address, length)
+
+    @property
+    def idle(self) -> bool:
+        """All attached shells idle."""
+        return all(shell.idle for _, shell in self._regions)

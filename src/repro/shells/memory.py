@@ -1,0 +1,51 @@
+"""A simple memory-mapped slave IP used as a shell target."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import TrafficError
+
+
+class MemorySlave:
+    """A word-addressed sparse memory with an address window.
+
+    Addresses are byte addresses; accesses must be word aligned (4-byte
+    words), matching the DTL-flavoured transaction model.
+    """
+
+    WORD_BYTES = 4
+
+    def __init__(self, base: int = 0, size_bytes: int = 1 << 20) -> None:
+        if base < 0 or size_bytes <= 0:
+            raise TrafficError("invalid memory window")
+        self.base = base
+        self.size_bytes = size_bytes
+        self._words: Dict[int, int] = {}
+        self.reads_served = 0
+        self.writes_served = 0
+
+    def _index(self, address: int) -> int:
+        if address % self.WORD_BYTES:
+            raise TrafficError(f"unaligned address {address:#x}")
+        if not self.base <= address < self.base + self.size_bytes:
+            raise TrafficError(
+                f"address {address:#x} outside window "
+                f"[{self.base:#x}, {self.base + self.size_bytes:#x})"
+            )
+        return (address - self.base) // self.WORD_BYTES
+
+    def write(self, address: int, data: List[int]) -> None:
+        """Write a burst of words starting at ``address``."""
+        start = self._index(address)
+        self._index(address + (len(data) - 1) * self.WORD_BYTES)
+        for offset, value in enumerate(data):
+            self._words[start + offset] = value
+        self.writes_served += 1
+
+    def read(self, address: int, length: int) -> List[int]:
+        """Read a burst of ``length`` words starting at ``address``."""
+        start = self._index(address)
+        self._index(address + (length - 1) * self.WORD_BYTES)
+        self.reads_served += 1
+        return [self._words.get(start + offset, 0) for offset in range(length)]

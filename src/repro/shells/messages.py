@@ -1,0 +1,140 @@
+"""Transaction messages exchanged by protocol shells.
+
+"Network shells have the role of serializing these requests into network
+messages."  A transaction (a DTL-flavoured read or write burst) is
+serialized into 32-bit words:
+
+Request message::
+
+    [command word] [address word] [data word]*   (data only for writes)
+
+Response message (reads only)::
+
+    [response word] [data word]*
+
+The command word packs kind, burst length and a small tag used to match
+responses to outstanding reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Tuple
+
+from ..errors import TrafficError
+
+#: Maximum burst length a single message may carry.
+MAX_BURST_WORDS = 64
+#: Tags wrap at this value (8-bit field).
+TAG_MODULO = 256
+
+_KIND_SHIFT = 30
+_LENGTH_SHIFT = 8
+_LENGTH_MASK = 0xFF
+_TAG_MASK = 0xFF
+
+
+class TransactionKind(IntEnum):
+    """DTL-style transaction kinds."""
+
+    WRITE = 0
+    READ = 1
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One IP-level transaction presented to a local bus or shell.
+
+    Attributes:
+        kind: Read or write.
+        address: Byte address at the target.
+        data: Data words (writes) — empty for reads.
+        length: Burst length in words (reads) — derived for writes.
+        tag: Matches a read response to its request.
+    """
+
+    kind: TransactionKind
+    address: int
+    data: Tuple[int, ...] = ()
+    length: int = 0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TrafficError("negative address")
+        if self.kind is TransactionKind.WRITE:
+            if not self.data:
+                raise TrafficError("write transaction without data")
+            if len(self.data) > MAX_BURST_WORDS:
+                raise TrafficError(
+                    f"write burst of {len(self.data)} exceeds "
+                    f"{MAX_BURST_WORDS} words"
+                )
+        else:
+            if self.data:
+                raise TrafficError("read transaction carries data")
+            if not 1 <= self.length <= MAX_BURST_WORDS:
+                raise TrafficError(
+                    f"read length {self.length} outside "
+                    f"1..{MAX_BURST_WORDS}"
+                )
+        if not 0 <= self.tag < TAG_MODULO:
+            raise TrafficError(f"tag {self.tag} outside 0..255")
+
+    @property
+    def burst_length(self) -> int:
+        """Words transferred by the transaction."""
+        if self.kind is TransactionKind.WRITE:
+            return len(self.data)
+        return self.length
+
+
+def encode_request(transaction: Transaction) -> List[int]:
+    """Serialize a transaction into request-message words."""
+    command = (
+        (int(transaction.kind) << _KIND_SHIFT)
+        | ((transaction.burst_length & _LENGTH_MASK) << _LENGTH_SHIFT)
+        | (transaction.tag & _TAG_MASK)
+    )
+    words = [command, transaction.address]
+    if transaction.kind is TransactionKind.WRITE:
+        words.extend(transaction.data)
+    return words
+
+
+def decode_command(word: int) -> Tuple[TransactionKind, int, int]:
+    """Decode a command word into (kind, burst length, tag)."""
+    kind = TransactionKind((word >> _KIND_SHIFT) & 1)
+    length = (word >> _LENGTH_SHIFT) & _LENGTH_MASK
+    tag = word & _TAG_MASK
+    return kind, length, tag
+
+
+def encode_response(tag: int, data: List[int]) -> List[int]:
+    """Serialize a read response into message words."""
+    if not 0 <= tag < TAG_MODULO:
+        raise TrafficError(f"tag {tag} outside 0..255")
+    if len(data) > MAX_BURST_WORDS:
+        raise TrafficError("response burst too long")
+    header = (len(data) << _LENGTH_SHIFT) | tag
+    return [header, *data]
+
+
+def decode_response_header(word: int) -> Tuple[int, int]:
+    """Decode a response header into (length, tag)."""
+    return (word >> _LENGTH_SHIFT) & _LENGTH_MASK, word & _TAG_MASK
+
+
+@dataclass
+class ReadResult:
+    """Handle for an outstanding read issued through a shell."""
+
+    tag: int
+    length: int
+    data: List[int] = field(default_factory=list)
+    completed_at: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None

@@ -1,0 +1,25 @@
+"""Cycle-driven simulation substrate (kernel, links, flits, stats, trace)."""
+
+from .flit import IDLE_PHIT, Phit, Word
+from .kernel import Component, Kernel, Register
+from .link import Link, NarrowLink
+from .stats import ConnectionStats, StatsCollector, WordRecord
+from .trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "IDLE_PHIT",
+    "Phit",
+    "Word",
+    "Component",
+    "Kernel",
+    "Register",
+    "Link",
+    "NarrowLink",
+    "ConnectionStats",
+    "StatsCollector",
+    "WordRecord",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+]

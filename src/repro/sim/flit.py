@@ -1,0 +1,69 @@
+"""Transport units of the cycle simulator.
+
+daelite carries one data word per link per cycle, accompanied by a few
+credit wires ("3 wires dedicated to sending credit data are enough to send
+the value of a 6-bit credit counter during each slot cycle").  The router
+crossbar makes no distinction between the two: a slot-table entry forwards
+the *whole* set of wires from one input to one output.  We model that wire
+bundle as a :class:`Phit` (physical transfer unit).
+
+:class:`Word` additionally carries simulator-side bookkeeping (connection
+id, sequence number, injection cycle) that has no hardware counterpart but
+lets tests and statistics track every word end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Word:
+    """One data word travelling through the network.
+
+    Attributes:
+        payload: The word value (an integer of ``word_width_bits`` bits).
+        connection: Identifier of the connection the word belongs to
+            (bookkeeping only; daelite words carry no header).
+        sequence: Per-connection sequence number (bookkeeping only).
+        injected_at: Cycle at which the source NI drove the word onto its
+            link (bookkeeping only).
+    """
+
+    payload: int
+    connection: str = ""
+    sequence: int = -1
+    injected_at: int = -1
+
+    def __repr__(self) -> str:  # compact traces
+        return (
+            f"Word({self.payload:#x}, conn={self.connection!r}, "
+            f"seq={self.sequence})"
+        )
+
+
+@dataclass(frozen=True)
+class Phit:
+    """Wire bundle transferred over one link in one cycle.
+
+    Attributes:
+        word: Data word, or ``None`` when the slot carries only credits.
+        credit_bits: Value present on the credit wires this cycle, or
+            ``None`` when the credit wires are idle.
+    """
+
+    word: Optional[Word] = None
+    credit_bits: Optional[int] = None
+
+    @property
+    def is_idle(self) -> bool:
+        """True when neither data nor credit wires carry anything."""
+        return self.word is None and self.credit_bits is None
+
+    def __repr__(self) -> str:
+        return f"Phit(word={self.word!r}, credits={self.credit_bits!r})"
+
+
+#: Convenience constant for an idle wire bundle.
+IDLE_PHIT = Phit()

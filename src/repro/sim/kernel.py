@@ -1,0 +1,198 @@
+"""Two-phase cycle-driven simulation kernel.
+
+Every piece of state that crosses a clock edge lives in a :class:`Register`.
+Each cycle the kernel runs two phases:
+
+1. *evaluate*: every :class:`Component` reads register **outputs** (``q``,
+   the values latched at the end of the previous cycle) and drives register
+   **inputs** (``d``).  Because no component ever observes a value driven in
+   the same cycle, evaluation order is irrelevant — exactly like a
+   synchronous netlist.
+2. *latch*: every register copies ``d`` to ``q`` and resets ``d`` to its
+   idle value.
+
+A register refuses to be driven twice in one cycle; a double drive is a
+word collision, which the contention-free schedule must make impossible,
+so it raises :class:`~repro.errors.SimulationError`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+
+class Register:
+    """A single clocked register with collision detection.
+
+    Attributes:
+        name: Diagnostic name used in error messages and traces.
+        q: Output — value latched at the previous clock edge.
+        idle: Value ``q`` takes when nothing was driven.
+    """
+
+    __slots__ = ("name", "idle", "q", "_d", "_driven")
+
+    def __init__(self, name: str, idle: Any = None) -> None:
+        self.name = name
+        self.idle = idle
+        self.q: Any = idle
+        self._d: Any = idle
+        self._driven = False
+
+    def drive(self, value: Any) -> None:
+        """Drive the register input for this cycle.
+
+        Raises:
+            SimulationError: if the register was already driven this cycle.
+        """
+        if self._driven:
+            raise SimulationError(
+                f"register {self.name!r} driven twice in one cycle "
+                f"(had {self._d!r}, got {value!r}) — word collision"
+            )
+        self._d = value
+        self._driven = True
+
+    @property
+    def driven(self) -> bool:
+        """Whether the register was driven during the current cycle."""
+        return self._driven
+
+    def latch(self) -> None:
+        """Clock edge: commit ``d`` to ``q`` and reset the input."""
+        self.q = self._d
+        self._d = self.idle
+        self._driven = False
+
+    def reset(self) -> None:
+        """Asynchronous reset to the idle value."""
+        self.q = self.idle
+        self._d = self.idle
+        self._driven = False
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r}, q={self.q!r})"
+
+
+class Component(ABC):
+    """A clocked hardware component.
+
+    Subclasses implement :meth:`evaluate`, reading ``.q`` of registers and
+    calling ``.drive`` on register inputs.  Registers created through
+    :meth:`make_register` are automatically latched by the kernel the
+    component is attached to.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.registers: List[Register] = []
+
+    def make_register(self, suffix: str, idle: Any = None) -> Register:
+        """Create a register owned (and latched) with this component."""
+        register = Register(f"{self.name}.{suffix}", idle=idle)
+        self.registers.append(register)
+        return register
+
+    @abstractmethod
+    def evaluate(self, cycle: int) -> None:
+        """Combinational phase for ``cycle``; drive register inputs."""
+
+    def reset(self) -> None:
+        """Reset all owned registers; subclasses extend for extra state."""
+        for register in self.registers:
+            register.reset()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Kernel:
+    """Owns components and advances the global clock.
+
+    The kernel also exposes a tiny scheduling facility: callbacks that run
+    at the start of a chosen cycle, used by test benches and the host model
+    to inject stimuli at precise times.
+    """
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.components: List[Component] = []
+        self._extra_registers: List[Register] = []
+        self._callbacks: dict[int, List[Callable[[int], None]]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component (and its registers) with the kernel."""
+        self.components.append(component)
+        return component
+
+    def add_all(self, components: Iterable[Component]) -> None:
+        """Register several components at once."""
+        for component in components:
+            self.add(component)
+
+    def add_register(self, register: Register) -> Register:
+        """Track a free-standing register not owned by any component."""
+        self._extra_registers.append(register)
+        return register
+
+    def at(self, cycle: int, callback: Callable[[int], None]) -> None:
+        """Schedule ``callback(cycle)`` at the start of ``cycle``.
+
+        Raises:
+            SimulationError: if ``cycle`` is already in the past.
+        """
+        if cycle < self.cycle:
+            raise SimulationError(
+                f"cannot schedule at cycle {cycle}; now at {self.cycle}"
+            )
+        self._callbacks.setdefault(cycle, []).append(callback)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            for callback in self._callbacks.pop(self.cycle, ()):  # stimuli
+                callback(self.cycle)
+            for component in self.components:
+                component.evaluate(self.cycle)
+            for component in self.components:
+                for register in component.registers:
+                    register.latch()
+            for register in self._extra_registers:
+                register.latch()
+            self.cycle += 1
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int = 1_000_000,
+    ) -> int:
+        """Step until ``predicate()`` is true; return the current cycle.
+
+        Raises:
+            SimulationError: if the predicate stays false for
+                ``max_cycles`` cycles.
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"condition not reached within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle
+
+    def reset(self) -> None:
+        """Reset the clock, all components, and scheduled callbacks."""
+        self.cycle = 0
+        self._callbacks.clear()
+        for component in self.components:
+            component.reset()
+        for register in self._extra_registers:
+            register.reset()

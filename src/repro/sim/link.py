@@ -1,0 +1,99 @@
+"""Point-to-point link models.
+
+A :class:`Link` is the one-cycle pipeline register between two network
+elements ("one cycle for link traversal").  The driving element calls
+:meth:`Link.send`; the receiving element reads :attr:`Link.incoming` in the
+*next* cycle.  Links transport :class:`~repro.sim.flit.Phit` bundles — a
+data word plus the credit wires that run alongside it.
+
+:class:`NarrowLink` is the same thing for the 7-bit configuration network;
+it transports small integers (configuration words) plus a valid flag.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from .flit import IDLE_PHIT, Phit, Word
+from .kernel import Register
+
+
+class Link:
+    """A unidirectional data link with its 1-cycle register.
+
+    Attributes:
+        name: Diagnostic name, usually ``"<src>-><dst>"``.
+        register: The pipeline register; owned by the link, latched by the
+            kernel via :meth:`registers`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.register = Register(f"link.{name}", idle=IDLE_PHIT)
+        #: Cumulative count of non-idle phits, for utilisation statistics.
+        self.phits_carried = 0
+        #: Cumulative count of data words, for bandwidth statistics.
+        self.words_carried = 0
+
+    def send(self, phit: Phit) -> None:
+        """Drive a phit onto the link for this cycle."""
+        if not phit.is_idle:
+            self.phits_carried += 1
+            if phit.word is not None:
+                self.words_carried += 1
+        self.register.drive(phit)
+
+    def send_word(
+        self, word: Word, credit_bits: Optional[int] = None
+    ) -> None:
+        """Convenience wrapper around :meth:`send` for a data word."""
+        self.send(Phit(word=word, credit_bits=credit_bits))
+
+    @property
+    def incoming(self) -> Phit:
+        """The phit that finished traversing the link this cycle."""
+        phit = self.register.q
+        return phit if phit is not None else IDLE_PHIT
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r})"
+
+
+class NarrowLink:
+    """A configuration-network link carrying one config word per cycle.
+
+    The configuration links "have small bit-width, that is equal to the
+    size of the configuration words".  A value of ``None`` models the
+    valid line being deasserted.
+    """
+
+    def __init__(self, name: str, width_bits: int = 7) -> None:
+        if width_bits < 1:
+            raise SimulationError("config link width must be >= 1 bit")
+        self.name = name
+        self.width_bits = width_bits
+        self.register = Register(f"cfglink.{name}", idle=None)
+        self.words_carried = 0
+
+    def send(self, word: int) -> None:
+        """Drive one configuration word for this cycle.
+
+        Raises:
+            SimulationError: if the word does not fit the link width.
+        """
+        if not 0 <= word < (1 << self.width_bits):
+            raise SimulationError(
+                f"config word {word:#x} exceeds {self.width_bits}-bit link "
+                f"{self.name!r}"
+            )
+        self.words_carried += 1
+        self.register.drive(word)
+
+    @property
+    def incoming(self) -> Optional[int]:
+        """Config word arriving this cycle, or ``None`` if idle."""
+        return self.register.q
+
+    def __repr__(self) -> str:
+        return f"NarrowLink({self.name!r}, {self.width_bits}b)"

@@ -1,0 +1,89 @@
+"""Lightweight event tracing for debugging and golden tests.
+
+Components call :meth:`Tracer.emit` with a category and a message; the
+tracer stores events and can filter or format them.  Tracing is off by
+default (a :class:`NullTracer` is used) so the hot simulation path pays a
+single method call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event."""
+
+    cycle: int
+    component: str
+    category: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.cycle:>8}] {self.component:<24} "
+            f"{self.category:<10} {self.message}"
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during simulation."""
+
+    def __init__(self, categories: Optional[Iterable[str]] = None) -> None:
+        #: Restrict recording to these categories (``None`` = all).
+        self.categories = set(categories) if categories is not None else None
+        self.events: List[TraceEvent] = []
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def emit(
+        self, cycle: int, component: str, category: str, message: str
+    ) -> None:
+        """Record one event if its category is enabled."""
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(cycle, component, category, message))
+
+    def filter(
+        self,
+        component: Optional[str] = None,
+        category: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Events matching the given component and/or category."""
+        return [
+            event
+            for event in self.events
+            if (component is None or event.component == component)
+            and (category is None or event.category == category)
+        ]
+
+    def format(self) -> str:
+        """All recorded events, one per line."""
+        return "\n".join(str(event) for event in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; the default."""
+
+    def __init__(self) -> None:
+        super().__init__(categories=())
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(
+        self, cycle: int, component: str, category: str, message: str
+    ) -> None:
+        pass
+
+
+#: Shared no-op tracer instance.
+NULL_TRACER = NullTracer()

@@ -1,0 +1,82 @@
+"""Regular mesh topology builder.
+
+The paper's experiments use small meshes (the area comparison uses a 2x2
+mesh with 32 TDM slots; the set-up example of Fig. 6 uses two routers).
+``build_mesh`` produces a W x H router grid with a configurable number of
+NIs per router, named ``R<x><y>`` and ``NI<x><y>[_<k>]`` to match the
+paper's ``R10``/``NI10`` naming.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import TopologyError
+from .topology import Topology
+
+
+def router_name(x: int, y: int) -> str:
+    """Canonical router name at grid position (x, y)."""
+    return f"R{x}{y}"
+
+
+def ni_name(x: int, y: int, index: int = 0) -> str:
+    """Canonical NI name at grid position (x, y), NI number ``index``."""
+    base = f"NI{x}{y}"
+    return base if index == 0 else f"{base}_{index}"
+
+
+def build_mesh(
+    width: int,
+    height: int,
+    nis_per_router: int = 1,
+    name: str = "",
+) -> Topology:
+    """Build a ``width`` x ``height`` mesh of routers with attached NIs.
+
+    Routers are placed on a grid and connected to their north/south/
+    east/west neighbours; each router additionally hosts
+    ``nis_per_router`` network interfaces.
+
+    Raises:
+        TopologyError: on non-positive dimensions or NI counts that would
+            exceed the router arity limit of 7 (4 mesh ports + NIs).
+    """
+    if width < 1 or height < 1:
+        raise TopologyError("mesh dimensions must be positive")
+    if nis_per_router < 0:
+        raise TopologyError("nis_per_router must be >= 0")
+    topology = Topology(name or f"mesh{width}x{height}")
+    for x in range(width):
+        for y in range(height):
+            router = topology.add_router(router_name(x, y))
+            router.position = (x, y)
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                topology.connect(router_name(x, y), router_name(x + 1, y))
+            if y + 1 < height:
+                topology.connect(router_name(x, y), router_name(x, y + 1))
+    for x in range(width):
+        for y in range(height):
+            for k in range(nis_per_router):
+                ni = topology.add_ni(ni_name(x, y, k))
+                ni.position = (x, y)
+                topology.connect(ni.name, router_name(x, y))
+    return topology
+
+
+def mesh_positions(topology: Topology) -> Dict[str, Tuple[int, int]]:
+    """Grid coordinates of every positioned element.
+
+    Raises:
+        TopologyError: if some element has no position (not a mesh).
+    """
+    positions: Dict[str, Tuple[int, int]] = {}
+    for element in topology.elements.values():
+        if element.position is None:
+            raise TopologyError(
+                f"element {element.name!r} has no grid position"
+            )
+        positions[element.name] = element.position
+    return positions

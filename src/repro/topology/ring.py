@@ -1,0 +1,38 @@
+"""Ring topology builder."""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .topology import Topology
+
+
+def build_ring(
+    routers: int,
+    nis_per_router: int = 1,
+    name: str = "",
+) -> Topology:
+    """Build a ring of ``routers`` routers, each with attached NIs.
+
+    Router *i* is named ``R<i>`` and connects to routers *i±1 mod n*.
+
+    Raises:
+        TopologyError: if fewer than one router is requested.
+    """
+    if routers < 1:
+        raise TopologyError("a ring needs at least one router")
+    topology = Topology(name or f"ring{routers}")
+    for i in range(routers):
+        router = topology.add_router(f"R{i}")
+        router.position = (i, 0)
+    if routers == 2:
+        topology.connect("R0", "R1")
+    elif routers > 2:
+        for i in range(routers):
+            topology.connect(f"R{i}", f"R{(i + 1) % routers}")
+    for i in range(routers):
+        for k in range(nis_per_router):
+            suffix = "" if k == 0 else f"_{k}"
+            ni = topology.add_ni(f"NI{i}{suffix}")
+            ni.position = (i, 0)
+            topology.connect(ni.name, f"R{i}")
+    return topology

@@ -1,0 +1,219 @@
+"""Network topology description.
+
+A :class:`Topology` is a graph of network *elements* — routers and network
+interfaces (NIs) — joined by bidirectional link pairs.  Each element has
+numbered ports; port *p* is used symmetrically for the incoming and the
+outgoing link to the same neighbour, as in the daelite RTL where a router's
+input *i* / output *i* wire pairs go to one neighbour.
+
+Element IDs are small integers because the 7-bit configuration word must
+encode them: with the paper's parameters at most 64 elements (routers and
+NIs together) are addressable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from ..errors import TopologyError
+
+
+class ElementKind(Enum):
+    """The two kinds of network elements."""
+
+    ROUTER = "router"
+    NI = "ni"
+
+
+@dataclass
+class Element:
+    """One network element (router or NI).
+
+    Attributes:
+        name: Unique human-readable name (e.g. ``"R00"`` or ``"NI10"``).
+        kind: Router or NI.
+        element_id: Dense integer ID used by the configuration protocol.
+        neighbors: Neighbour element names, indexed by port number.
+        position: Optional grid coordinates for regular topologies.
+    """
+
+    name: str
+    kind: ElementKind
+    element_id: int
+    neighbors: List[str] = field(default_factory=list)
+    position: Optional[Tuple[int, int]] = None
+
+    @property
+    def arity(self) -> int:
+        """Number of connected ports."""
+        return len(self.neighbors)
+
+    def port_to(self, neighbor: str) -> int:
+        """Port number facing ``neighbor``.
+
+        Raises:
+            TopologyError: if ``neighbor`` is not adjacent.
+        """
+        try:
+            return self.neighbors.index(neighbor)
+        except ValueError:
+            raise TopologyError(
+                f"{self.name!r} has no port towards {neighbor!r}"
+            ) from None
+
+
+class Topology:
+    """A network of routers and NIs with numbered, symmetric ports."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self.elements: Dict[str, Element] = {}
+        #: Undirected element graph; each edge is a bidirectional link pair.
+        self.graph = nx.Graph()
+
+    # -- construction ---------------------------------------------------------
+
+    def _add_element(self, name: str, kind: ElementKind) -> Element:
+        if name in self.elements:
+            raise TopologyError(f"duplicate element name {name!r}")
+        element = Element(
+            name=name, kind=kind, element_id=len(self.elements)
+        )
+        self.elements[name] = element
+        self.graph.add_node(name, kind=kind)
+        return element
+
+    def add_router(self, name: str) -> Element:
+        """Add a router element."""
+        return self._add_element(name, ElementKind.ROUTER)
+
+    def add_ni(self, name: str) -> Element:
+        """Add a network-interface element."""
+        return self._add_element(name, ElementKind.NI)
+
+    def connect(self, a: str, b: str) -> None:
+        """Join elements ``a`` and ``b`` with a bidirectional link pair.
+
+        Raises:
+            TopologyError: on unknown elements, self-loops, duplicate
+                links, or an NI that already has its single network port.
+        """
+        if a == b:
+            raise TopologyError(f"self-loop on {a!r}")
+        for name in (a, b):
+            if name not in self.elements:
+                raise TopologyError(f"unknown element {name!r}")
+        if self.graph.has_edge(a, b):
+            raise TopologyError(f"duplicate link {a!r}<->{b!r}")
+        for name in (a, b):
+            element = self.elements[name]
+            if element.kind is ElementKind.NI and element.arity >= 1:
+                raise TopologyError(
+                    f"NI {name!r} already connected; NIs have one port"
+                )
+        self.elements[a].neighbors.append(b)
+        self.elements[b].neighbors.append(a)
+        self.graph.add_edge(a, b)
+
+    # -- queries --------------------------------------------------------------
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name.
+
+        Raises:
+            TopologyError: if it does not exist.
+        """
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise TopologyError(f"unknown element {name!r}") from None
+
+    def element_by_id(self, element_id: int) -> Element:
+        """Look up an element by its configuration ID."""
+        for element in self.elements.values():
+            if element.element_id == element_id:
+                return element
+        raise TopologyError(f"no element with id {element_id}")
+
+    @property
+    def routers(self) -> List[Element]:
+        return [
+            element
+            for element in self.elements.values()
+            if element.kind is ElementKind.ROUTER
+        ]
+
+    @property
+    def nis(self) -> List[Element]:
+        return [
+            element
+            for element in self.elements.values()
+            if element.kind is ElementKind.NI
+        ]
+
+    def links(self) -> List[Tuple[str, str]]:
+        """All directed links, both directions of every pair."""
+        directed: List[Tuple[str, str]] = []
+        for a, b in self.graph.edges:
+            directed.append((a, b))
+            directed.append((b, a))
+        return directed
+
+    def ni_router(self, ni_name: str) -> str:
+        """The router an NI attaches to.
+
+        Raises:
+            TopologyError: if ``ni_name`` is not a connected NI.
+        """
+        element = self.element(ni_name)
+        if element.kind is not ElementKind.NI:
+            raise TopologyError(f"{ni_name!r} is not an NI")
+        if element.arity != 1:
+            raise TopologyError(f"NI {ni_name!r} is not connected")
+        return element.neighbors[0]
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Hop-minimal element path from ``src`` to ``dst`` inclusive.
+
+        Raises:
+            TopologyError: if no path exists.
+        """
+        self.element(src)
+        self.element(dst)
+        try:
+            return nx.shortest_path(self.graph, src, dst)
+        except nx.NetworkXNoPath:
+            raise TopologyError(f"no path {src!r} -> {dst!r}") from None
+
+    def validate(self, max_elements: int = 64, max_arity: int = 7) -> None:
+        """Check the configuration-protocol addressing limits.
+
+        Raises:
+            TopologyError: if the topology exceeds what a 7-bit
+                configuration word can encode.
+        """
+        if len(self.elements) > max_elements:
+            raise TopologyError(
+                f"{len(self.elements)} elements exceed the addressing "
+                f"limit of {max_elements}"
+            )
+        for element in self.elements.values():
+            if element.kind is ElementKind.ROUTER and (
+                element.arity > max_arity
+            ):
+                raise TopologyError(
+                    f"router {element.name!r} arity {element.arity} "
+                    f"exceeds {max_arity}"
+                )
+        if self.elements and not nx.is_connected(self.graph):
+            raise TopologyError("topology is not connected")
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, routers={len(self.routers)}, "
+            f"nis={len(self.nis)}, links={self.graph.number_of_edges()})"
+        )

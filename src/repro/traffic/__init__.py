@@ -1,0 +1,30 @@
+"""Traffic generation: sources, sinks, and paper-motivated workloads."""
+
+from .generators import (
+    BurstGenerator,
+    CbrGenerator,
+    Lcg,
+    RandomGenerator,
+    TraceGenerator,
+)
+from .sinks import DrainSink, ThrottledSink
+from .workloads import (
+    CacheMissTraffic,
+    SyncBroadcast,
+    VideoStream,
+    random_traffic_pattern,
+)
+
+__all__ = [
+    "BurstGenerator",
+    "CbrGenerator",
+    "Lcg",
+    "RandomGenerator",
+    "TraceGenerator",
+    "DrainSink",
+    "ThrottledSink",
+    "CacheMissTraffic",
+    "SyncBroadcast",
+    "VideoStream",
+    "random_traffic_pattern",
+]

@@ -1,0 +1,79 @@
+"""Traffic sinks: the consuming side of a channel.
+
+Draining a daelite destination queue is what releases end-to-end credits,
+so sinks model the consumption *rate* of the destination IP.  A sink that
+cannot keep up exposes exactly the failure mode the paper warns about for
+multicast: "it is necessary to ensure that the destinations can process
+data at the same rate as it is delivered".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import TrafficError
+from ..sim.flit import Word
+from ..sim.kernel import Component
+
+ReceiveWords = Callable[[int], List[Word]]
+
+
+class DrainSink(Component):
+    """Drains a destination queue at a fixed rate.
+
+    Attributes:
+        received: (cycle, payload) pairs in delivery order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        receive: ReceiveWords,
+        words_per_cycle: int = 1,
+        start_cycle: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if words_per_cycle < 1:
+            raise TrafficError("sink rate must be >= 1 word/cycle")
+        self.receive = receive
+        self.words_per_cycle = words_per_cycle
+        self.start_cycle = start_cycle
+        self.received: List[Tuple[int, int]] = []
+
+    @property
+    def words_received(self) -> int:
+        return len(self.received)
+
+    def payloads(self) -> List[int]:
+        """Just the payload values, in delivery order."""
+        return [payload for _, payload in self.received]
+
+    def evaluate(self, cycle: int) -> None:
+        if cycle < self.start_cycle:
+            return
+        for word in self.receive(self.words_per_cycle):
+            self.received.append((cycle, word.payload))
+
+
+class ThrottledSink(DrainSink):
+    """A sink that only drains every ``period`` cycles — a slow consumer.
+
+    Used to demonstrate back-pressure through credits (flow-controlled
+    channels slow the source down; multicast channels overflow instead).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        receive: ReceiveWords,
+        period: int,
+        words_per_drain: int = 1,
+    ) -> None:
+        super().__init__(name, receive, words_per_cycle=words_per_drain)
+        if period < 1:
+            raise TrafficError("period must be >= 1")
+        self.period = period
+
+    def evaluate(self, cycle: int) -> None:
+        if cycle % self.period == 0:
+            super().evaluate(cycle)

@@ -1,0 +1,136 @@
+"""Paper-motivated workload builders.
+
+The introduction motivates three traffic classes: "high throughput for
+video, low latency to serve cache misses" and "multicast or broadcast ...
+for implementing cache coherence or synchronization primitives".  These
+helpers turn such intents into connection/multicast requests plus
+generator parameters, shared by the examples and the benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import TrafficError
+from ..alloc.spec import ConnectionRequest, MulticastRequest
+from ..params import NetworkParameters
+from .generators import Lcg
+
+
+@dataclass(frozen=True)
+class VideoStream:
+    """A CBR video-like stream and the connection that carries it.
+
+    ``bandwidth_fraction`` is the fraction of link bandwidth the stream
+    needs; it is rounded up to whole TDM slots.
+    """
+
+    label: str
+    src_ni: str
+    dst_ni: str
+    bandwidth_fraction: float
+
+    def connection_request(
+        self, params: NetworkParameters
+    ) -> ConnectionRequest:
+        if self.bandwidth_fraction <= 0:
+            raise TrafficError("bandwidth fraction must be positive")
+        slots = max(
+            1, math.ceil(self.bandwidth_fraction * params.slot_table_size)
+        )
+        return ConnectionRequest(
+            label=self.label,
+            src_ni=self.src_ni,
+            dst_ni=self.dst_ni,
+            forward_slots=min(slots, params.slot_table_size - 1),
+            reverse_slots=1,
+        )
+
+    def generator_period(self, params: NetworkParameters) -> int:
+        """Cycle period between words matching the stream bandwidth."""
+        words_per_wheel = self.bandwidth_fraction * (
+            params.slot_table_size * params.words_per_slot
+        )
+        if words_per_wheel <= 0:
+            raise TrafficError("bandwidth fraction must be positive")
+        return max(1, int(params.wheel_cycles / words_per_wheel))
+
+
+@dataclass(frozen=True)
+class CacheMissTraffic:
+    """Short latency-critical read-response exchanges."""
+
+    label: str
+    cpu_ni: str
+    memory_ni: str
+    line_words: int = 8
+
+    def connection_request(self) -> ConnectionRequest:
+        # One request slot suffices; the response path carries the cache
+        # lines, so it gets the bandwidth.
+        return ConnectionRequest(
+            label=self.label,
+            src_ni=self.cpu_ni,
+            dst_ni=self.memory_ni,
+            forward_slots=1,
+            reverse_slots=2,
+        )
+
+
+@dataclass(frozen=True)
+class SyncBroadcast:
+    """Synchronization / coherence-style multicast of small messages."""
+
+    label: str
+    src_ni: str
+    dst_nis: Tuple[str, ...]
+    slots: int = 1
+
+    def multicast_request(self) -> MulticastRequest:
+        return MulticastRequest(
+            label=self.label,
+            src_ni=self.src_ni,
+            dst_nis=self.dst_nis,
+            slots=self.slots,
+        )
+
+
+def random_traffic_pattern(
+    ni_names: Sequence[str],
+    pairs: int,
+    seed: int = 1,
+    slots_min: int = 1,
+    slots_max: int = 3,
+) -> List[ConnectionRequest]:
+    """Uniform-random (src, dst) connection requests for capacity studies.
+
+    Used by the multipath experiment (C4): the gain of multipath
+    allocation is measured over many random patterns.
+
+    Raises:
+        TrafficError: with fewer than two NIs or nonsensical bounds.
+    """
+    if len(ni_names) < 2:
+        raise TrafficError("need at least two NIs")
+    if not 1 <= slots_min <= slots_max:
+        raise TrafficError("invalid slot bounds")
+    lcg = Lcg(seed)
+    requests: List[ConnectionRequest] = []
+    for index in range(pairs):
+        src = ni_names[lcg.next_below(len(ni_names))]
+        dst = src
+        while dst == src:
+            dst = ni_names[lcg.next_below(len(ni_names))]
+        slots = slots_min + lcg.next_below(slots_max - slots_min + 1)
+        requests.append(
+            ConnectionRequest(
+                label=f"rnd{index}",
+                src_ni=src,
+                dst_ni=dst,
+                forward_slots=slots,
+                reverse_slots=1,
+            )
+        )
+    return requests

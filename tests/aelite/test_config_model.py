@@ -1,0 +1,118 @@
+"""Tests for the aelite in-band configuration timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aelite import AeliteConfigModel
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.errors import ConfigurationError
+from repro.params import aelite_parameters, daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def params():
+    return aelite_parameters(slot_table_size=16)
+
+
+@pytest.fixture
+def mesh():
+    return build_mesh(2, 2)
+
+
+def connection(mesh, params, slots=2):
+    allocator = SlotAllocator(topology=mesh, params=params)
+    return allocator.allocate_connection(
+        ConnectionRequest(
+            "c", "NI00", "NI11", forward_slots=slots, reverse_slots=1
+        )
+    )
+
+
+class TestAccessTiming:
+    def test_write_waits_for_wheel(self, mesh, params):
+        model = AeliteConfigModel(mesh, params, "NI00")
+        access = model.write("NI11", cycle=0)
+        assert access.latency >= params.wheel_cycles
+
+    def test_read_round_trips(self, mesh, params):
+        model = AeliteConfigModel(mesh, params, "NI00")
+        write = model.write("NI11", 0)
+        read = model.read("NI11", 0)
+        assert read.latency > 2 * write.latency - params.wheel_cycles
+
+    def test_processor_overhead_added(self, mesh, params):
+        ideal = AeliteConfigModel(mesh, params, "NI00")
+        slow = AeliteConfigModel(
+            mesh, params, "NI00", processor_overhead=30
+        )
+        assert (
+            slow.write("NI11", 0).completed_at
+            == ideal.write("NI11", 0).completed_at + 30
+        )
+
+    def test_host_must_be_ni(self, mesh, params):
+        with pytest.raises(ConfigurationError):
+            AeliteConfigModel(mesh, params, "R00")
+
+
+class TestSetupSequences:
+    def test_setup_depends_on_slot_count(self, mesh, params):
+        """aelite set-up 'depends on ... number of slots used by the
+        connection' — unlike daelite."""
+        model = AeliteConfigModel(mesh, params, "NI00")
+        small = connection(mesh, params, slots=1)
+        large = connection(mesh, params, slots=6)
+        assert model.setup_connection_time(
+            large
+        ) > model.setup_connection_time(small)
+
+    def test_setup_depends_on_distance(self, params):
+        mesh = build_mesh(4, 1)
+        model = AeliteConfigModel(mesh, params, "NI00")
+        allocator = SlotAllocator(topology=mesh, params=params)
+        near = allocator.allocate_connection(
+            ConnectionRequest("near", "NI00", "NI10")
+        )
+        far = allocator.allocate_connection(
+            ConnectionRequest("far", "NI00", "NI30")
+        )
+        assert model.setup_connection_time(
+            far
+        ) > model.setup_connection_time(near)
+
+    def test_order_of_magnitude_vs_daelite(self, mesh):
+        """The headline Table III claim: 'daelite configuration is
+        roughly one order of magnitude faster than aelite'."""
+        from repro.analysis import ideal_setup_cycles
+        from repro.topology import build_config_tree
+
+        aelite_params = aelite_parameters(slot_table_size=16)
+        daelite_params = daelite_parameters(slot_table_size=16)
+        model = AeliteConfigModel(
+            mesh, aelite_params, "NI00", processor_overhead=30
+        )
+        conn = connection(mesh, aelite_params, slots=2)
+        aelite_cycles = model.setup_connection_time(conn)
+        tree = build_config_tree(mesh, "NI00")
+        daelite_cycles = ideal_setup_cycles(
+            hops=conn.forward.hops, params=daelite_params, tree=tree
+        )
+        ratio = aelite_cycles / daelite_cycles
+        assert 5 <= ratio <= 40
+
+    def test_teardown_time_positive(self, mesh, params):
+        model = AeliteConfigModel(mesh, params, "NI00")
+        conn = connection(mesh, params)
+        assert model.teardown_channel_time(conn.forward) > 0
+
+    def test_write_plan_contents(self, mesh, params):
+        model = AeliteConfigModel(mesh, params, "NI00")
+        conn = connection(mesh, params, slots=3)
+        plan = model.channel_write_plan(conn.forward)
+        src_writes = [t for k, t in plan if t == "NI00"]
+        dst_writes = [t for k, t in plan if t == "NI11"]
+        # path register + 3 slots + credit + enable at the source.
+        assert len(src_writes) == 6
+        assert len(dst_writes) == 2

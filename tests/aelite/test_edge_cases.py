@@ -1,0 +1,164 @@
+"""aelite edge cases: packet merging wrap-arounds, credit-only headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aelite import AeliteNetwork
+from repro.alloc import ChannelRequest, ConnectionRequest, SlotAllocator
+from repro.params import aelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def params():
+    return aelite_parameters(slot_table_size=8)
+
+
+def installed(params, forward_slots, pad_slots=0):
+    topology = build_mesh(2, 1)
+    allocator = SlotAllocator(
+        topology=topology, params=params, policy="first"
+    )
+    if pad_slots:
+        allocator.allocate_channel(
+            ChannelRequest("pad", "NI00", "NI10", slots=pad_slots)
+        )
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "a", "NI00", "NI10", forward_slots=forward_slots
+        )
+    )
+    network = AeliteNetwork(topology, params)
+    handle = network.install_connection(connection)
+    return network, connection, handle
+
+
+def pump(network, dst, queue, expected, max_steps=8000):
+    payloads = []
+    for _ in range(max_steps):
+        network.run(1)
+        payloads.extend(
+            w.payload for w in network.ni(dst).receive(queue)
+        )
+        if len(payloads) >= expected:
+            break
+    return payloads
+
+
+class TestPacketMergingWrap:
+    def test_run_wrapping_the_wheel(self, params):
+        """Slots {6, 7, 0} form a 3-slot run across the wheel boundary;
+        the run-length detector must merge them into one packet."""
+        from repro.alloc.spec import AllocatedChannel, AllocatedConnection
+
+        # A roomy buffer so credits never truncate packets mid-run.
+        params = aelite_parameters(
+            slot_table_size=8, channel_buffer_words=48
+        )
+        topology = build_mesh(2, 1)
+        forward = AllocatedChannel(
+            label="a.fwd",
+            path=("NI00", "R00", "R10", "NI10"),
+            slots=frozenset({6, 7, 0}),
+            slot_table_size=8,
+        )
+        reverse = AllocatedChannel(
+            label="a.rev",
+            path=("NI10", "R10", "R00", "NI00"),
+            slots=frozenset({3}),
+            slot_table_size=8,
+        )
+        connection = AllocatedConnection("a", forward, reverse)
+        network = AeliteNetwork(topology, params)
+        handle = network.install_connection(connection)
+        words = 60
+        network.ni("NI00").submit_words(
+            handle.forward.src_connection, list(range(words)), "a"
+        )
+        payloads = pump(
+            network, "NI10", handle.forward.dst_queue, words
+        )
+        assert payloads == list(range(words))
+        assert network.total_dropped_words == 0
+        # Merged 3-slot packets: far fewer headers than slots used.
+        link = network.link("NI00", "R00")
+        headers = link.words_carried - words
+        assert headers <= words / 8 + 3
+
+    def test_interleaved_connections_alternate_packets(self, params):
+        """Two connections with interleaved slots never merge across
+        each other; both deliver everything in order."""
+        topology = build_mesh(2, 1)
+        allocator = SlotAllocator(
+            topology=topology, params=params, policy="spread"
+        )
+        first = allocator.allocate_connection(
+            ConnectionRequest("a", "NI00", "NI10", forward_slots=2)
+        )
+        second = allocator.allocate_connection(
+            ConnectionRequest("b", "NI00", "NI10", forward_slots=2)
+        )
+        network = AeliteNetwork(topology, params)
+        handle_a = network.install_connection(first)
+        handle_b = network.install_connection(second)
+        network.ni("NI00").submit_words(
+            handle_a.forward.src_connection, list(range(20)), "a"
+        )
+        network.ni("NI00").submit_words(
+            handle_b.forward.src_connection,
+            list(range(100, 120)),
+            "b",
+        )
+        got_a, got_b = [], []
+        for _ in range(6000):
+            network.run(1)
+            got_a.extend(
+                w.payload
+                for w in network.ni("NI10").receive(
+                    handle_a.forward.dst_queue
+                )
+            )
+            got_b.extend(
+                w.payload
+                for w in network.ni("NI10").receive(
+                    handle_b.forward.dst_queue
+                )
+            )
+            if len(got_a) == 20 and len(got_b) == 20:
+                break
+        assert got_a == list(range(20))
+        assert got_b == list(range(100, 120))
+
+
+class TestCreditOnlyHeaders:
+    def test_header_only_packet_returns_credits(self, params):
+        """When the reverse channel has no data, pending credits still
+        travel in header-only packets."""
+        network, connection, handle = installed(params, forward_slots=2)
+        count = 4 * params.channel_buffer_words
+        network.ni("NI00").submit_words(
+            handle.forward.src_connection, list(range(count)), "a"
+        )
+        # The reverse connection never carries data; the stream only
+        # completes if header-only credit packets flow back.
+        payloads = pump(
+            network, "NI10", handle.forward.dst_queue, count
+        )
+        assert payloads == list(range(count))
+        reverse_link = network.link("R00", "NI00")
+        # wait: reverse direction NI10 -> R10?  The reverse channel runs
+        # NI10 -> R10 -> R00 -> NI00; its NI link is NI10 -> R10.
+        assert network.link("NI10", "R10").words_carried > 0
+
+    def test_disabled_source_never_packs(self, params):
+        network, connection, handle = installed(params, forward_slots=1)
+        source = network.ni("NI00").source(
+            handle.forward.src_connection
+        )
+        source.enabled = False
+        network.ni("NI00").submit_words(
+            handle.forward.src_connection, [1], "a"
+        )
+        network.run(200)
+        assert network.stats.injected_words("a") == 0

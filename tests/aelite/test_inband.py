@@ -1,0 +1,158 @@
+"""Tests for the measured in-band aelite configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aelite import (
+    AeliteNetwork,
+    ConfigSlave,
+    InBandConfigurator,
+    decode_path,
+    encode_path,
+)
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.errors import ConfigurationError, TrafficError
+from repro.params import aelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def setup():
+    params = aelite_parameters(slot_table_size=16)
+    topology = build_mesh(2, 2)
+    allocator = SlotAllocator(topology=topology, params=params)
+    network = AeliteNetwork(topology, params, host_ni="NI00")
+    configurator = InBandConfigurator(network, allocator)
+    return params, topology, allocator, network, configurator
+
+
+class TestPathEncoding:
+    def test_roundtrip(self):
+        for ports in ((), (3,), (1, 2, 0, 6), (5,) * 8):
+            assert decode_path(encode_path(ports)) == ports
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_path((0,) * 9)
+
+    def test_bad_port_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_path((7,))
+
+
+class TestConfigPlane:
+    def test_one_connection_per_remote_ni(self, setup):
+        _, topology, _, network, configurator = setup
+        remotes = {
+            element.name
+            for element in topology.nis
+            if element.name != "NI00"
+        }
+        assert set(configurator.links) == remotes
+
+    def test_status_read_round_trip(self, setup):
+        *_, configurator = setup
+        configurator.write("NI11", 0x200, 5)  # credit of conn 0
+        count = configurator.flush("NI11")
+        assert count == 1
+
+    def test_writes_reach_remote_registers(self, setup):
+        _, _, _, network, configurator = setup
+        configurator.write("NI10", 0x100 + 4 * 3, 2)  # slot 3 -> conn 1
+        configurator.flush("NI10")
+        assert network.ni("NI10").injection_table.channel(3) == 1
+
+    def test_unknown_remote_rejected(self, setup):
+        *_, configurator = setup
+        with pytest.raises(ConfigurationError, match="config"):
+            configurator.write("NI00", 0, 0)  # the host itself
+
+
+class TestMeasuredSetup:
+    def test_configured_connection_carries_traffic(self, setup):
+        _, _, allocator, network, configurator = setup
+        connection = allocator.allocate_connection(
+            ConnectionRequest("d", "NI10", "NI11", forward_slots=2)
+        )
+        cycles, handle = configurator.setup_connection(connection)
+        assert cycles > 0
+        network.ni("NI10").submit_words(
+            handle.fwd_src_connection, list(range(25)), "d"
+        )
+        received = []
+        for _ in range(5000):
+            network.run(1)
+            received.extend(
+                w.payload
+                for w in network.ni("NI11").receive(
+                    handle.fwd_dst_queue
+                )
+            )
+            if len(received) == 25:
+                break
+        assert received == list(range(25))
+        assert network.total_dropped_words == 0
+
+    def test_measured_time_tracks_model(self, setup):
+        """The executable configuration lands in the same regime as
+        the analytic model of repro.aelite.config."""
+        params, topology, allocator, network, configurator = setup
+        connection = allocator.allocate_connection(
+            ConnectionRequest("d", "NI10", "NI11", forward_slots=2)
+        )
+        measured, _ = configurator.setup_connection(connection)
+        modelled = network.config_model.setup_connection_time(
+            connection
+        )
+        assert measured == pytest.approx(modelled, rel=0.5)
+
+    def test_measured_grows_with_slots(self, setup):
+        params, topology, allocator, network, configurator = setup
+        small = allocator.allocate_connection(
+            ConnectionRequest("s", "NI10", "NI11", forward_slots=1)
+        )
+        large = allocator.allocate_connection(
+            ConnectionRequest("l", "NI10", "NI11", forward_slots=5)
+        )
+        small_cycles, _ = configurator.setup_connection(small)
+        large_cycles, _ = configurator.setup_connection(large)
+        assert large_cycles > small_cycles
+
+    def test_host_endpoint_rejected(self, setup):
+        _, _, allocator, network, configurator = setup
+        connection = allocator.allocate_connection(
+            ConnectionRequest("h", "NI00", "NI11", forward_slots=1)
+        )
+        with pytest.raises(ConfigurationError, match="remote"):
+            configurator.setup_connection(connection)
+
+    def test_teardown_stops_traffic(self, setup):
+        _, _, allocator, network, configurator = setup
+        connection = allocator.allocate_connection(
+            ConnectionRequest("d", "NI10", "NI11", forward_slots=2)
+        )
+        _, handle = configurator.setup_connection(connection)
+        cycles = configurator.teardown_channel(
+            connection.forward, handle.fwd_src_connection
+        )
+        assert cycles > 0
+        network.ni("NI10").submit_words(
+            handle.fwd_src_connection, [1], "late"
+        )
+        network.run(300)
+        assert network.stats.injected_words("late") == 0
+
+
+class TestConfigSlaveValidation:
+    def test_unmapped_address_rejected(self, setup):
+        _, _, _, network, _ = setup
+        slave = ConfigSlave(network.ni("NI10"))
+        with pytest.raises(TrafficError, match="unmapped"):
+            slave.write(0x7FC, [1])  # status is read-only
+
+    def test_unreadable_address_rejected(self, setup):
+        _, _, _, network, _ = setup
+        slave = ConfigSlave(network.ni("NI10"))
+        with pytest.raises(TrafficError, match="unreadable"):
+            slave.read(0x0, 1)

@@ -1,0 +1,146 @@
+"""Unit tests for aelite NI internals (arrival FSM, packetization)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aelite import AeliteHeader
+from repro.aelite.ni import AeliteNetworkInterface
+from repro.errors import SimulationError
+from repro.params import aelite_parameters
+from repro.sim import Kernel, Link, Word
+from repro.topology import Topology
+
+
+def isolated_ni(strict=False):
+    topology = Topology()
+    element = topology.add_ni("NI")
+    topology.add_router("R")
+    topology.connect("NI", "R")
+    params = aelite_parameters(slot_table_size=8)
+    kernel = Kernel()
+    ni = AeliteNetworkInterface(element, params, strict=strict)
+    kernel.add(ni)
+    out_link = Link("NI->R")
+    in_link = Link("R->NI")
+    kernel.add_register(out_link.register)
+    kernel.add_register(in_link.register)
+    ni.out_link = out_link
+    ni.in_link = in_link
+    return kernel, ni, out_link, in_link
+
+
+class TestArrivalFsm:
+    def test_header_selects_queue(self):
+        kernel, ni, _, in_link = isolated_ni()
+        in_link.send_word(
+            AeliteHeader(path=(), queue=5, length_words=2)
+        )
+        kernel.step(1)
+        in_link.send_word(Word(payload=0xAA))
+        kernel.step(2)
+        words = ni.receive(5)
+        assert [w.payload for w in words] == [0xAA]
+
+    def test_unconsumed_path_rejected(self):
+        kernel, ni, _, in_link = isolated_ni()
+        in_link.send_word(
+            AeliteHeader(path=(1,), queue=0, length_words=1)
+        )
+        with pytest.raises(SimulationError, match="unconsumed path"):
+            kernel.step(2)
+
+    def test_stray_payload_dropped(self):
+        kernel, ni, _, in_link = isolated_ni()
+        in_link.send_word(Word(payload=1))
+        kernel.step(2)
+        assert ni.dropped_words == 1
+
+    def test_stray_payload_strict_raises(self):
+        kernel, ni, _, in_link = isolated_ni(strict=True)
+        in_link.send_word(Word(payload=1))
+        with pytest.raises(SimulationError, match="stray"):
+            kernel.step(2)
+
+    def test_header_credits_need_pairing(self):
+        from repro.errors import FlowControlError
+
+        kernel, ni, _, in_link = isolated_ni()
+        in_link.send_word(
+            AeliteHeader(path=(), queue=0, length_words=1, credits=3)
+        )
+        with pytest.raises(FlowControlError, match="paired"):
+            kernel.step(2)
+
+    def test_header_credits_applied(self):
+        kernel, ni, _, in_link = isolated_ni()
+        ni.queue_endpoint(0).paired_source = 1
+        source = ni.source(1)
+        source.credit_counter = 0
+        in_link.send_word(
+            AeliteHeader(path=(), queue=0, length_words=1, credits=4)
+        )
+        kernel.step(2)
+        assert source.credit_counter == 4
+
+
+class TestPacketization:
+    def enabled_source(self, ni, connection=0, credits=20):
+        source = ni.source(connection)
+        source.enabled = True
+        source.credit_counter = credits
+        source.path_ports = (1,)
+        source.dest_queue = 0
+        return source
+
+    def test_header_emitted_first_cycle_of_slot(self):
+        kernel, ni, out, _ = isolated_ni()
+        self.enabled_source(ni)
+        ni.injection_table.set_slot(0, 0)
+        ni.submit(0, 42)
+        headers = []
+        for _ in range(12):
+            kernel.step(1)
+            word = out.incoming.word
+            if isinstance(word, AeliteHeader):
+                headers.append((kernel.cycle, word))
+        assert len(headers) == 1
+        cycle, header = headers[0]
+        assert header.length_words == 2  # header + 1 payload
+
+    def test_header_only_credit_packet(self):
+        kernel, ni, out, _ = isolated_ni()
+        source = self.enabled_source(ni)
+        source.paired_arrival = 2
+        queue = ni.queue_endpoint(2)
+        queue.pending_credits = 5
+        ni.injection_table.set_slot(0, 0)
+        kernel.step(12)
+        # A header-only packet carried the credits.
+        assert queue.pending_credits == 0
+
+    def test_disabled_source_emits_nothing(self):
+        kernel, ni, out, _ = isolated_ni()
+        source = ni.source(0)
+        source.credit_counter = 5  # but never enabled
+        ni.injection_table.set_slot(0, 0)
+        ni.submit(0, 1)
+        for _ in range(12):
+            kernel.step(1)
+            assert out.incoming.is_idle
+
+    def test_credit_limit_truncates_packet(self):
+        kernel, ni, out, _ = isolated_ni()
+        source = self.enabled_source(ni, credits=1)
+        ni.injection_table.set_slot(0, 0)
+        ni.injection_table.set_slot(1, 0)
+        ni.submit_words(0, [1, 2, 3, 4, 5])
+        header = None
+        for _ in range(6):
+            kernel.step(1)
+            word = out.incoming.word
+            if isinstance(word, AeliteHeader):
+                header = word
+                break
+        assert header is not None
+        assert header.length_words == 2  # only 1 credit -> 1 payload

@@ -1,0 +1,75 @@
+"""Unit tests for aelite packets and header-overhead arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aelite import (
+    AeliteHeader,
+    MAX_PACKET_SLOTS,
+    header_overhead,
+    payload_efficiency,
+    slots_needed,
+)
+from repro.errors import ParameterError
+
+
+class TestAeliteHeader:
+    def test_consume_hop_pops_path(self):
+        header = AeliteHeader(path=(1, 2, 0), queue=3, length_words=4)
+        port, rest = header.consume_hop()
+        assert port == 1
+        assert rest.path == (2, 0)
+        assert rest.queue == 3
+
+    def test_exhausted_path_rejected(self):
+        header = AeliteHeader(path=(), queue=0, length_words=1)
+        with pytest.raises(ParameterError):
+            header.consume_hop()
+
+    def test_length_bounds(self):
+        with pytest.raises(ParameterError):
+            AeliteHeader(path=(), queue=0, length_words=0)
+        with pytest.raises(ParameterError):
+            AeliteHeader(path=(), queue=0, length_words=10)
+
+    def test_payload_words(self):
+        header = AeliteHeader(path=(), queue=0, length_words=6)
+        assert header.payload_words == 5
+
+    def test_negative_credits_rejected(self):
+        with pytest.raises(ParameterError):
+            AeliteHeader(path=(), queue=0, length_words=1, credits=-1)
+
+
+class TestOverheadArithmetic:
+    def test_paper_overhead_range(self):
+        """'daelite has no header overhead, which in aelite is between
+        11% and 33%.'"""
+        assert header_overhead(1) == pytest.approx(1 / 3)
+        assert header_overhead(MAX_PACKET_SLOTS) == pytest.approx(1 / 9)
+
+    def test_efficiency_complements_overhead(self):
+        for slots in (1, 2, 3):
+            assert payload_efficiency(slots) + header_overhead(
+                slots
+            ) == pytest.approx(1.0)
+
+    def test_invalid_packet_length(self):
+        with pytest.raises(ParameterError):
+            payload_efficiency(0)
+        with pytest.raises(ParameterError):
+            payload_efficiency(4)
+
+    def test_slots_needed(self):
+        assert slots_needed(0) == 1  # header-only packet
+        assert slots_needed(2) == 1
+        assert slots_needed(3) == 2
+        assert slots_needed(5) == 2
+        assert slots_needed(8) == 3
+
+    def test_slots_needed_bounds(self):
+        with pytest.raises(ParameterError):
+            slots_needed(-1)
+        with pytest.raises(ParameterError):
+            slots_needed(9)

@@ -1,0 +1,140 @@
+"""Tests for schedule JSON persistence (incl. round-trip properties)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import (
+    ConnectionRequest,
+    MulticastRequest,
+    SlotAllocator,
+    validate_schedule,
+)
+from repro.alloc.serialize import (
+    allocation_from_dict,
+    allocation_to_dict,
+    channel_from_dict,
+    schedule_from_json,
+    schedule_to_json,
+)
+from repro.alloc.spec import AllocatedChannel
+from repro.errors import ParameterError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+from repro.traffic import random_traffic_pattern
+
+
+@st.composite
+def channels(draw):
+    size = draw(st.sampled_from([8, 16, 32]))
+    hops = draw(st.integers(min_value=0, max_value=5))
+    slots = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    use_delays = draw(st.booleans())
+    delays = (
+        tuple(
+            draw(st.integers(min_value=0, max_value=3))
+            for _ in range(hops + 1)
+        )
+        if use_delays
+        else ()
+    )
+    return AllocatedChannel(
+        label=draw(st.text(min_size=1, max_size=10)),
+        path=("NIa",)
+        + tuple(f"R{i}" for i in range(hops))
+        + ("NIb",),
+        slots=frozenset(slots),
+        slot_table_size=size,
+        link_delays=delays,
+    )
+
+
+class TestRoundTrips:
+    @settings(max_examples=60)
+    @given(channels())
+    def test_channel_roundtrip(self, channel):
+        assert channel_from_dict(
+            allocation_to_dict(channel)
+        ) == channel
+
+    def test_schedule_roundtrip_real_allocation(self):
+        topology = build_mesh(3, 3)
+        params = daelite_parameters(slot_table_size=16)
+        allocator = SlotAllocator(topology=topology, params=params)
+        nis = [element.name for element in topology.nis]
+        allocations = [
+            allocator.allocate_connection(request)
+            for request in random_traffic_pattern(nis, 5, seed=4)
+        ]
+        allocations.append(
+            allocator.allocate_multicast(
+                MulticastRequest("m", "NI00", ("NI22", "NI20"))
+            )
+        )
+        text = schedule_to_json(allocations)
+        loaded = schedule_from_json(text)
+        assert loaded == allocations
+        validate_schedule(topology, loaded)
+
+    def test_loaded_schedule_configures_a_network(self):
+        """Design-time compute -> JSON -> run-time load -> traffic."""
+        from repro.core import DaeliteNetwork
+
+        topology = build_mesh(2, 2)
+        params = daelite_parameters(slot_table_size=8)
+        allocator = SlotAllocator(topology=topology, params=params)
+        original = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI11", forward_slots=2)
+        )
+        (loaded,) = schedule_from_json(schedule_to_json([original]))
+        network = DaeliteNetwork(topology, params, host_ni="NI00")
+        handle = network.configure(loaded)
+        network.ni("NI00").submit_words(
+            handle.forward.src_channel, [1, 2, 3], "c"
+        )
+        received = []
+        for _ in range(500):
+            network.run(2)
+            received.extend(
+                w.payload
+                for w in network.ni("NI11").receive(
+                    handle.forward.dst_channel
+                )
+            )
+            if len(received) == 3:
+                break
+        assert received == [1, 2, 3]
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError, match="unknown allocation"):
+            allocation_from_dict({"kind": "mystery"})
+
+    def test_wrong_kind_for_channel(self):
+        with pytest.raises(ParameterError, match="channel document"):
+            channel_from_dict({"kind": "connection"})
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ParameterError, match="format"):
+            schedule_from_json('{"format": "v0", "allocations": []}')
+
+    def test_corrupt_channel_rejected_by_spec_validation(self):
+        from repro.errors import AllocationError
+
+        document = {
+            "kind": "channel",
+            "label": "bad",
+            "path": ["NIa", "R0", "NIb"],
+            "slots": [99],  # outside the wheel
+            "slot_table_size": 8,
+        }
+        with pytest.raises(AllocationError):
+            channel_from_dict(document)

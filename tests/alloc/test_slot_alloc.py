@@ -1,0 +1,239 @@
+"""Unit tests for the contention-free slot allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import (
+    ChannelRequest,
+    ConnectionRequest,
+    LinkSlotLedger,
+    MulticastRequest,
+    SlotAllocator,
+    validate_schedule,
+)
+from repro.errors import AllocationError, SlotConflictError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def params():
+    return daelite_parameters(slot_table_size=8)
+
+
+@pytest.fixture
+def allocator(params):
+    return SlotAllocator(topology=build_mesh(3, 3), params=params)
+
+
+class TestLedger:
+    def test_claim_and_release(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 3, "c1")
+        assert ledger.owner(("a", "b"), 3) == "c1"
+        ledger.release(("a", "b"), 3, "c1")
+        assert ledger.is_free(("a", "b"), 3)
+
+    def test_conflicting_claim_rejected(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 3, "c1")
+        with pytest.raises(SlotConflictError):
+            ledger.claim(("a", "b"), 3, "c2")
+
+    def test_same_label_reclaim_ok(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 3, "c1")
+        ledger.claim(("a", "b"), 3, "c1")
+
+    def test_release_wrong_owner_rejected(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 3, "c1")
+        with pytest.raises(SlotConflictError):
+            ledger.release(("a", "b"), 3, "c2")
+
+    def test_slot_wraps(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 11, "c1")
+        assert ledger.owner(("a", "b"), 3) == "c1"
+
+    def test_utilization(self):
+        ledger = LinkSlotLedger(8)
+        ledger.claim(("a", "b"), 0, "c1")
+        ledger.claim(("a", "b"), 1, "c1")
+        assert ledger.link_utilization(("a", "b")) == pytest.approx(0.25)
+        assert ledger.total_claims() == 2
+
+
+class TestChannelAllocation:
+    def test_slots_respect_diagonal_alignment(self, allocator):
+        channel = allocator.allocate_channel(
+            ChannelRequest("c", "NI00", "NI22", slots=2)
+        )
+        for edge, slot in channel.link_claims():
+            assert allocator.ledger.owner(edge, slot) == "c"
+
+    def test_two_channels_never_conflict(self, allocator):
+        first = allocator.allocate_channel(
+            ChannelRequest("a", "NI00", "NI22", slots=3)
+        )
+        second = allocator.allocate_channel(
+            ChannelRequest("b", "NI10", "NI22", slots=3)
+        )
+        validate_schedule(allocator.topology, [first, second])
+
+    def test_release_frees_capacity(self, allocator, params):
+        request = ChannelRequest(
+            "big", "NI00", "NI22", slots=params.slot_table_size
+        )
+        first = allocator.allocate_channel(request)
+        with pytest.raises(AllocationError):
+            allocator.allocate_channel(
+                ChannelRequest("more", "NI00", "NI22", slots=1)
+            )
+        allocator.release_channel(first)
+        allocator.allocate_channel(
+            ChannelRequest("more", "NI00", "NI22", slots=1)
+        )
+
+    def test_explicit_path_honored(self, allocator):
+        path = (
+            "NI00",
+            "R00",
+            "R01",
+            "R02",
+            "NI02",
+        )
+        channel = allocator.allocate_channel(
+            ChannelRequest("c", "NI00", "NI02"), path=path
+        )
+        assert channel.path == path
+
+    def test_exhaustion_reported(self, allocator, params):
+        allocator.allocate_channel(
+            ChannelRequest(
+                "hog", "NI00", "NI01", slots=params.slot_table_size
+            )
+        )
+        with pytest.raises(AllocationError, match="admissible"):
+            allocator.allocate_channel(
+                ChannelRequest("late", "NI00", "NI01", slots=1)
+            )
+
+    def test_spread_policy_spaces_slots(self, params):
+        allocator = SlotAllocator(
+            topology=build_mesh(2, 2), params=params, policy="spread"
+        )
+        channel = allocator.allocate_channel(
+            ChannelRequest("c", "NI00", "NI11", slots=2)
+        )
+        slots = sorted(channel.slots)
+        gap = (slots[1] - slots[0]) % params.slot_table_size
+        assert gap >= params.slot_table_size // 4
+
+    def test_first_policy_compact(self, params):
+        allocator = SlotAllocator(
+            topology=build_mesh(2, 2), params=params, policy="first"
+        )
+        channel = allocator.allocate_channel(
+            ChannelRequest("c", "NI00", "NI11", slots=2)
+        )
+        assert sorted(channel.slots) == [0, 1]
+
+    def test_unknown_policy_rejected(self, params):
+        with pytest.raises(AllocationError):
+            SlotAllocator(
+                topology=build_mesh(2, 2), params=params, policy="nope"
+            )
+
+    def test_xy_routing_used(self, params):
+        allocator = SlotAllocator(
+            topology=build_mesh(3, 3), params=params, routing="xy"
+        )
+        channel = allocator.allocate_channel(
+            ChannelRequest("c", "NI00", "NI22")
+        )
+        assert channel.path == (
+            "NI00",
+            "R00",
+            "R10",
+            "R20",
+            "R21",
+            "R22",
+            "NI22",
+        )
+
+
+class TestConnectionAllocation:
+    def test_reverse_uses_reversed_path(self, allocator):
+        connection = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI22")
+        )
+        assert connection.reverse.path == tuple(
+            reversed(connection.forward.path)
+        )
+
+    def test_failed_reverse_rolls_back_forward(self, params):
+        topology = build_mesh(2, 1)
+        allocator = SlotAllocator(topology=topology, params=params)
+        # Saturate the reverse direction NI11->... only.
+        allocator.allocate_channel(
+            ChannelRequest(
+                "hog", "NI10", "NI00", slots=params.slot_table_size
+            )
+        )
+        before = allocator.ledger.total_claims()
+        with pytest.raises(AllocationError):
+            allocator.allocate_connection(
+                ConnectionRequest("c", "NI00", "NI10")
+            )
+        assert allocator.ledger.total_claims() == before
+
+    def test_release_connection(self, allocator):
+        connection = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=2)
+        )
+        claims = allocator.ledger.total_claims()
+        allocator.release_connection(connection)
+        assert allocator.ledger.total_claims() == claims - (
+            2 * len(connection.forward.path) - 2 + len(
+                connection.reverse.path
+            ) - 1
+        )
+
+
+class TestMulticastAllocation:
+    def test_tree_shares_prefix(self, allocator):
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI00", ("NI20", "NI22"), slots=1)
+        )
+        edges = tree.tree_edges()
+        assert edges.count(("NI00", "R00")) == 1
+        validate_schedule(allocator.topology, [tree])
+
+    def test_multicast_and_unicast_coexist(self, allocator):
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI00", ("NI20", "NI02"), slots=2)
+        )
+        unicast = allocator.allocate_channel(
+            ChannelRequest("u", "NI00", "NI20", slots=2)
+        )
+        validate_schedule(allocator.topology, [tree, unicast])
+
+    def test_release_multicast(self, allocator):
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI00", ("NI20", "NI02"), slots=1)
+        )
+        allocator.release_multicast(tree)
+        assert allocator.ledger.total_claims() == 0
+
+    def test_exhaustion(self, allocator, params):
+        allocator.allocate_channel(
+            ChannelRequest(
+                "hog", "NI00", "NI01", slots=params.slot_table_size
+            )
+        )
+        with pytest.raises(AllocationError, match="admissible"):
+            allocator.allocate_multicast(
+                MulticastRequest("m", "NI00", ("NI01", "NI02"), slots=1)
+            )

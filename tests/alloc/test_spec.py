@@ -1,0 +1,152 @@
+"""Unit tests for allocation specs and slot arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import (
+    AllocatedChannel,
+    AllocatedConnection,
+    AllocatedMulticast,
+    ChannelRequest,
+    ConnectionRequest,
+    MulticastRequest,
+)
+from repro.errors import AllocationError, ParameterError
+
+
+def channel(path=("NI0", "R0", "R1", "NI1"), slots={1, 4}, size=8, label="c"):
+    return AllocatedChannel(
+        label=label,
+        path=tuple(path),
+        slots=frozenset(slots),
+        slot_table_size=size,
+    )
+
+
+class TestRequests:
+    def test_channel_request_validation(self):
+        with pytest.raises(ParameterError):
+            ChannelRequest("c", "NI0", "NI0")
+        with pytest.raises(ParameterError):
+            ChannelRequest("c", "NI0", "NI1", slots=0)
+
+    def test_connection_request_derives_channels(self):
+        request = ConnectionRequest(
+            "c", "NI0", "NI1", forward_slots=2, reverse_slots=1
+        )
+        assert request.forward.src_ni == "NI0"
+        assert request.reverse.src_ni == "NI1"
+        assert request.forward.label == "c.fwd"
+
+    def test_multicast_request_validation(self):
+        with pytest.raises(ParameterError, match="destination twice"):
+            MulticastRequest("m", "NI0", ("NI1", "NI1"))
+        with pytest.raises(ParameterError, match="own source"):
+            MulticastRequest("m", "NI0", ("NI0",))
+        with pytest.raises(ParameterError):
+            MulticastRequest("m", "NI0", ())
+
+
+class TestAllocatedChannel:
+    def test_positional_slot_arithmetic(self):
+        ch = channel()
+        # +1 slot per element: NI0 pos 0, R0 pos 1, R1 pos 2, NI1 pos 3.
+        assert ch.table_slots(0) == frozenset({1, 4})
+        assert ch.table_slots(1) == frozenset({2, 5})
+        assert ch.arrival_slots == frozenset({4, 7})
+
+    def test_arrival_wraps(self):
+        ch = channel(slots={6}, size=8)
+        assert ch.arrival_slots == frozenset({(6 + 3) % 8})
+
+    def test_link_claims(self):
+        ch = channel(slots={1})
+        claims = dict(ch.link_claims())
+        assert claims[("NI0", "R0")] == 2
+        assert claims[("R0", "R1")] == 3
+        assert claims[("R1", "NI1")] == 4
+
+    def test_properties(self):
+        ch = channel()
+        assert ch.src_ni == "NI0"
+        assert ch.dst_ni == "NI1"
+        assert ch.routers == ("R0", "R1")
+        assert ch.hops == 2
+        assert ch.bandwidth_fraction == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(AllocationError):
+            channel(slots=set())
+        with pytest.raises(AllocationError):
+            channel(slots={9})
+        with pytest.raises(AllocationError):
+            AllocatedChannel("c", ("NI0",), frozenset({0}), 8)
+
+    def test_position_range(self):
+        with pytest.raises(AllocationError):
+            channel().table_slots(4)
+
+
+class TestAllocatedConnection:
+    def test_mirroring_enforced(self):
+        forward = channel()
+        bad_reverse = channel(path=("NI1", "R1", "R0", "NI2"), label="r")
+        with pytest.raises(AllocationError, match="mirror"):
+            AllocatedConnection("c", forward, bad_reverse)
+
+    def test_valid_connection(self):
+        forward = channel()
+        reverse = channel(path=("NI1", "R1", "R0", "NI0"), label="r")
+        connection = AllocatedConnection("c", forward, reverse)
+        assert connection.forward is forward
+
+
+class TestAllocatedMulticast:
+    def branches(self):
+        a = channel(path=("NI0", "R0", "R1", "NI1"), label="a")
+        b = channel(path=("NI0", "R0", "R2", "NI2"), label="b")
+        return a, b
+
+    def test_tree_accessors(self):
+        a, b = self.branches()
+        tree = AllocatedMulticast("m", (a, b))
+        assert tree.src_ni == "NI0"
+        assert tree.dst_nis == ("NI1", "NI2")
+        assert tree.slots == frozenset({1, 4})
+
+    def test_shared_edges_counted_once(self):
+        a, b = self.branches()
+        tree = AllocatedMulticast("m", (a, b))
+        edges = tree.tree_edges()
+        assert edges.count(("NI0", "R0")) == 1
+        shared_claims = [
+            claim
+            for claim in tree.link_claims()
+            if claim[0] == ("NI0", "R0")
+        ]
+        assert len(shared_claims) == 2  # one per slot, not per branch
+
+    def test_inconsistent_source_rejected(self):
+        a = channel(path=("NI0", "R0", "NI1"), label="a")
+        b = channel(path=("NI9", "R0", "NI2"), label="b")
+        with pytest.raises(AllocationError, match="source NI"):
+            AllocatedMulticast("m", (a, b))
+
+    def test_inconsistent_slots_rejected(self):
+        a = channel(slots={1}, label="a")
+        b = channel(
+            path=("NI0", "R0", "R2", "NI2"), slots={2}, label="b"
+        )
+        with pytest.raises(AllocationError, match="slot set"):
+            AllocatedMulticast("m", (a, b))
+
+    def test_non_tree_rejected(self):
+        a = channel(path=("NI0", "R0", "R1", "NI1"), label="a")
+        b = channel(path=("NI0", "R2", "R1", "NI2"), label="b")
+        with pytest.raises(AllocationError, match="not a tree"):
+            AllocatedMulticast("m", (a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocatedMulticast("m", ())

@@ -1,0 +1,89 @@
+"""Unit tests for multi-use-case management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import (
+    ConnectionRequest,
+    UseCase,
+    UseCaseManager,
+    validate_schedule,
+)
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def manager():
+    return UseCaseManager(
+        topology=build_mesh(3, 3),
+        params=daelite_parameters(slot_table_size=8),
+    )
+
+
+def uc(name, *requests):
+    return UseCase(name=name, connections=tuple(requests))
+
+
+VIDEO = ConnectionRequest("video", "NI00", "NI22", forward_slots=3)
+AUDIO = ConnectionRequest("audio", "NI10", "NI02", forward_slots=1)
+GAME = ConnectionRequest("game", "NI00", "NI21", forward_slots=2)
+
+
+class TestUseCaseManager:
+    def test_allocations_are_contention_free(self, manager):
+        manager.add_usecase(uc("play", VIDEO, AUDIO))
+        allocations = list(manager.allocations["play"].values())
+        validate_schedule(manager.topology, allocations)
+
+    def test_duplicate_usecase_rejected(self, manager):
+        manager.add_usecase(uc("a", VIDEO))
+        with pytest.raises(AllocationError):
+            manager.add_usecase(uc("a", AUDIO))
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AllocationError):
+            uc("a", VIDEO, VIDEO)
+
+    def test_lookup(self, manager):
+        manager.add_usecase(uc("a", VIDEO))
+        assert manager.allocation("a", "video").label == "video"
+        with pytest.raises(AllocationError):
+            manager.allocation("a", "missing")
+        with pytest.raises(AllocationError):
+            manager.allocation("missing", "video")
+
+    def test_switch_keeps_identical_connections(self, manager):
+        manager.add_usecase(uc("a", VIDEO, AUDIO))
+        manager.add_usecase(uc("b", VIDEO, GAME))
+        switch = manager.plan_switch("a", "b")
+        assert "video" in switch.kept
+        assert switch.torn_down == ("audio",)
+        assert switch.set_up == ("game",)
+
+    def test_switch_unknown_usecase(self, manager):
+        manager.add_usecase(uc("a", VIDEO))
+        with pytest.raises(AllocationError):
+            manager.plan_switch("a", "zzz")
+
+    def test_changed_request_not_kept(self, manager):
+        manager.add_usecase(uc("a", VIDEO))
+        bigger = ConnectionRequest(
+            "video", "NI00", "NI22", forward_slots=4
+        )
+        manager.add_usecase(uc("b", bigger))
+        switch = manager.plan_switch("a", "b")
+        assert switch.kept == ()
+        assert switch.torn_down == ("video",)
+        assert switch.set_up == ("video",)
+
+    def test_usecases_allocated_independently(self, manager):
+        """Two use cases may overlap in (link, slot) because they never
+        run concurrently."""
+        heavy = ConnectionRequest(
+            "heavy", "NI00", "NI22", forward_slots=6
+        )
+        manager.add_usecase(uc("a", heavy))
+        manager.add_usecase(uc("b", heavy))  # would conflict if shared

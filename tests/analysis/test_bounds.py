@@ -1,0 +1,131 @@
+"""Unit tests for analytical QoS bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.spec import AllocatedChannel
+from repro.analysis import (
+    aelite_bandwidth_words_per_cycle,
+    config_slot_bandwidth_loss,
+    guaranteed_bandwidth_words_per_cycle,
+    max_scheduling_wait_cycles,
+    multicast_required_drain_rate,
+    slot_gaps,
+    traversal_latency_cycles,
+    worst_case_latency_cycles,
+)
+from repro.errors import ParameterError
+from repro.params import aelite_parameters, daelite_parameters
+
+
+def channel(slots, size=16, hops=2):
+    path = ("NIa",) + tuple(f"R{i}" for i in range(hops)) + ("NIb",)
+    return AllocatedChannel(
+        label="c",
+        path=path,
+        slots=frozenset(slots),
+        slot_table_size=size,
+    )
+
+
+class TestSlotGaps:
+    def test_even_spacing(self):
+        assert sorted(slot_gaps(frozenset({0, 8}), 16)) == [8, 8]
+
+    def test_uneven_spacing(self):
+        assert sorted(slot_gaps(frozenset({0, 1}), 16)) == [1, 15]
+
+    def test_single_slot_gap_is_wheel(self):
+        assert slot_gaps(frozenset({5}), 16) == [16]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            slot_gaps(frozenset(), 16)
+
+
+class TestLatencyBounds:
+    def test_scheduling_wait(self):
+        params = daelite_parameters(slot_table_size=16)
+        assert max_scheduling_wait_cycles(
+            frozenset({0, 8}), params
+        ) == 16
+        assert max_scheduling_wait_cycles(
+            frozenset({0}), params
+        ) == 32
+
+    def test_traversal(self):
+        daelite = daelite_parameters()
+        aelite = aelite_parameters()
+        assert traversal_latency_cycles(3, daelite) == 7
+        assert traversal_latency_cycles(3, aelite) == 10
+
+    def test_thirty_three_percent_reduction(self):
+        """The headline claim: 2 vs 3 cycles per hop is a 33% cut."""
+        daelite = daelite_parameters()
+        aelite = aelite_parameters()
+        reduction = 1 - daelite.hop_cycles / aelite.hop_cycles
+        assert reduction == pytest.approx(1 / 3)
+
+    def test_worst_case_composition(self):
+        params = daelite_parameters(slot_table_size=8)
+        ch = channel({0, 4}, size=8, hops=3)
+        bound = worst_case_latency_cycles(ch, params)
+        assert bound == 4 * 2 + 2 + (2 * 3 + 1)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ParameterError):
+            traversal_latency_cycles(-1, daelite_parameters())
+
+
+class TestBandwidth:
+    def test_daelite_full_slot_payload(self):
+        params = daelite_parameters(slot_table_size=16)
+        ch = channel({0, 8})
+        assert guaranteed_bandwidth_words_per_cycle(
+            ch, params
+        ) == pytest.approx(2 / 16)
+
+    def test_aelite_unmerged_overhead(self):
+        params = aelite_parameters(slot_table_size=16)
+        ch = channel({0, 8})
+        bandwidth = aelite_bandwidth_words_per_cycle(
+            ch, params, merged=False
+        )
+        assert bandwidth == pytest.approx((2 * 2) / (16 * 3))
+
+    def test_aelite_merged_run_amortizes(self):
+        params = aelite_parameters(slot_table_size=16)
+        scattered = channel({0, 5, 10})
+        run = channel({0, 1, 2})
+        assert aelite_bandwidth_words_per_cycle(
+            run, params
+        ) > aelite_bandwidth_words_per_cycle(scattered, params)
+
+    def test_aelite_wraparound_run(self):
+        params = aelite_parameters(slot_table_size=16)
+        wrap = channel({15, 0, 1})
+        # One 3-slot run -> one header for 9 words.
+        assert aelite_bandwidth_words_per_cycle(
+            wrap, params
+        ) == pytest.approx(8 / 48)
+
+    def test_daelite_beats_aelite_for_same_slots(self):
+        daelite = daelite_parameters(slot_table_size=16)
+        aelite = aelite_parameters(slot_table_size=16)
+        ch = channel({0, 8})
+        assert guaranteed_bandwidth_words_per_cycle(
+            ch, daelite
+        ) > aelite_bandwidth_words_per_cycle(ch, aelite)
+
+    def test_config_loss_is_6_25_percent_at_16(self):
+        params = aelite_parameters(slot_table_size=16)
+        assert config_slot_bandwidth_loss(params) == pytest.approx(
+            0.0625
+        )
+
+    def test_multicast_drain_rate(self):
+        params = daelite_parameters(slot_table_size=16)
+        assert multicast_required_drain_rate(
+            frozenset({0, 4, 8, 12}), params
+        ) == pytest.approx(0.25)

@@ -1,0 +1,86 @@
+"""Unit tests for Table I data and set-up time analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    TABLE1,
+    daelite_unique_combination,
+    ideal_setup_cycles,
+    path_packet_words,
+    render_table1,
+    setup_speedup,
+)
+from repro.params import daelite_parameters
+from repro.topology import build_config_tree, build_mesh
+
+
+class TestTable1:
+    def test_seven_networks(self):
+        assert len(TABLE1) == 7
+        names = [noc.name for noc in TABLE1]
+        assert "daelite" in names and "Nostrum" in names
+
+    def test_daelite_combination_unique(self):
+        assert daelite_unique_combination()
+
+    def test_render_contains_all_networks(self):
+        text = render_table1()
+        for noc in TABLE1:
+            assert noc.name in text
+
+    def test_render_contains_all_aspects(self):
+        text = render_table1()
+        for label in (
+            "Link sharing",
+            "Routing",
+            "Connection Setup",
+            "End-to-End Flow Cont",
+            "Connection types",
+        ):
+            assert label in text
+
+    def test_footnotes_preserved(self):
+        nostrum = next(n for n in TABLE1 if n.name == "Nostrum")
+        assert len(nostrum.notes) == 2
+
+
+class TestSetupAnalysis:
+    def test_packet_words_formula(self):
+        params = daelite_parameters(slot_table_size=8)
+        # Fig. 6: header + 2 mask words + 4 element pairs = 11 words.
+        assert path_packet_words(hops=2, params=params) == 11
+
+    def test_mask_words_scale_with_table(self):
+        small = daelite_parameters(slot_table_size=8)
+        large = daelite_parameters(slot_table_size=32)
+        assert path_packet_words(2, large) > path_packet_words(2, small)
+
+    def test_ideal_setup_independent_of_slots(self):
+        """The formula has no slot-count term at all; this documents
+        the paper's claim structurally."""
+        params = daelite_parameters(slot_table_size=16)
+        assert ideal_setup_cycles(
+            3, params, tree_depth=4
+        ) == ideal_setup_cycles(3, params, tree_depth=4)
+
+    def test_ideal_setup_grows_with_hops_and_depth(self):
+        params = daelite_parameters(slot_table_size=16)
+        assert ideal_setup_cycles(4, params, tree_depth=4) > (
+            ideal_setup_cycles(2, params, tree_depth=4)
+        )
+        assert ideal_setup_cycles(2, params, tree_depth=6) > (
+            ideal_setup_cycles(2, params, tree_depth=4)
+        )
+
+    def test_tree_argument_equivalent_to_depth(self):
+        params = daelite_parameters(slot_table_size=16)
+        mesh = build_mesh(2, 2)
+        tree = build_config_tree(mesh, "NI00")
+        assert ideal_setup_cycles(2, params, tree=tree) == (
+            ideal_setup_cycles(2, params, tree_depth=tree.max_depth)
+        )
+
+    def test_speedup(self):
+        assert setup_speedup(100, 1000) == pytest.approx(10.0)

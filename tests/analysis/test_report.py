@@ -1,0 +1,93 @@
+"""Tests for the human-readable report generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, MulticastRequest, SlotAllocator
+from repro.analysis import (
+    describe_allocation,
+    describe_channel,
+    network_summary,
+    render_link_utilization,
+    render_ni_tables,
+    render_router_slot_table,
+)
+from repro.core import DaeliteNetwork
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def configured():
+    topology = build_mesh(2, 2)
+    params = daelite_parameters(slot_table_size=8)
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest("c", "NI00", "NI11", forward_slots=2)
+    )
+    network = DaeliteNetwork(topology, params, host_ni="NI00")
+    network.configure(connection)
+    return network, params, connection
+
+
+class TestRenderers:
+    def test_router_table_shows_entries(self, configured):
+        network, params, connection = configured
+        text = render_router_slot_table(network, "R00")
+        assert "router R00" in text
+        # The configured entries appear as digits, idle slots as dots.
+        assert "." in text
+        assert any(ch.isdigit() for ch in text.split("\n")[2])
+
+    def test_router_table_lists_neighbors(self, configured):
+        network, _, _ = configured
+        text = render_router_slot_table(network, "R00")
+        for neighbor in network.topology.element("R00").neighbors:
+            assert neighbor in text
+
+    def test_ni_tables(self, configured):
+        network, _, _ = configured
+        text = render_ni_tables(network, "NI00")
+        assert "inject" in text and "arrive" in text
+
+    def test_link_utilization_sorted(self, configured):
+        network, params, connection = configured
+        text = render_link_utilization([connection], params)
+        lines = text.splitlines()[1:]
+        loads = [float(line.split("%")[0].split()[-1]) for line in lines]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_link_utilization_top(self, configured):
+        network, params, connection = configured
+        text = render_link_utilization([connection], params, top=2)
+        assert len(text.splitlines()) == 3
+
+    def test_describe_channel(self, configured):
+        network, params, connection = configured
+        text = describe_channel(connection.forward, params)
+        assert "guaranteed" in text
+        assert "worst-case latency" in text
+        assert "MB/s" in text
+
+    def test_describe_connection_and_multicast(self, configured):
+        network, params, connection = configured
+        text = describe_allocation(connection, params)
+        assert "connection 'c'" in text
+        allocator = SlotAllocator(
+            topology=network.topology, params=params
+        )
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI00", ("NI10", "NI01"))
+        )
+        tree_text = describe_allocation(tree, params)
+        assert "multicast 'm'" in tree_text
+        assert tree_text.count("channel") == 2
+
+    def test_network_summary(self, configured):
+        network, _, _ = configured
+        text = network_summary(network)
+        assert "2 routers" not in text  # 4 routers in a 2x2 mesh
+        assert "4 routers" in text
+        assert "words dropped: 0" in text
+        assert "host: NI00" in text

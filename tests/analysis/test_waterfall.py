@@ -1,0 +1,91 @@
+"""Tests for the Fig. 1 space-time rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.analysis.waterfall import (
+    collect_space_time,
+    has_collision,
+    render_space_time,
+)
+from repro.core import DaeliteNetwork
+from repro.errors import ParameterError
+from repro.params import daelite_parameters
+from repro.sim import Tracer
+from repro.topology import build_mesh
+
+from ..conftest import pump_until_delivered
+
+
+@pytest.fixture
+def traced_run():
+    topology = build_mesh(2, 2)
+    params = daelite_parameters(slot_table_size=8)
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest("w", "NI00", "NI11", forward_slots=2)
+    )
+    tracer = Tracer()
+    network = DaeliteNetwork(
+        topology, params, host_ni="NI00", tracer=tracer
+    )
+    handle = network.configure(connection)
+    network.ni("NI00").submit_words(
+        handle.forward.src_channel, list(range(6)), "w"
+    )
+    pump_until_delivered(
+        network, "NI11", handle.forward.dst_channel, 6
+    )
+    return tracer, connection
+
+
+class TestSpaceTime:
+    def test_no_collisions_ever(self, traced_run):
+        tracer, connection = traced_run
+        assert not has_collision(tracer, "w")
+
+    def test_words_progress_through_path(self, traced_run):
+        tracer, connection = traced_run
+        cells = collect_space_time(tracer, "w")
+        # Word 0 appears at every router of the path, in cycle order.
+        appearances = sorted(
+            (cycle, element)
+            for (element, cycle), sequences in cells.items()
+            if 0 in sequences
+        )
+        elements_in_order = [element for _, element in appearances]
+        for router in connection.forward.routers:
+            assert router in elements_in_order
+        # The source NI event precedes the routers, the destination
+        # ends the chain.
+        assert elements_in_order[0] == "NI00"
+        assert elements_in_order[-1] == "NI11"
+
+    def test_hop_spacing_is_two_cycles(self, traced_run):
+        tracer, connection = traced_run
+        cells = collect_space_time(tracer, "w")
+        cycles = {
+            element: cycle
+            for (element, cycle), sequences in cells.items()
+            if 0 in sequences
+        }
+        routers = list(connection.forward.routers)
+        for first, second in zip(routers, routers[1:]):
+            assert cycles[second] - cycles[first] == 2
+
+    def test_render_contains_rows_and_digits(self, traced_run):
+        tracer, connection = traced_run
+        text = render_space_time(
+            tracer, "w", list(connection.forward.path)
+        )
+        for element in connection.forward.path:
+            assert element in text
+        assert "X" not in text  # no collisions drawn
+        assert any(ch.isdigit() for ch in text.splitlines()[2])
+
+    def test_missing_connection_rejected(self, traced_run):
+        tracer, _ = traced_run
+        with pytest.raises(ParameterError, match="no traced"):
+            render_space_time(tracer, "ghost", ["NI00"])

@@ -1,0 +1,81 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.params import aelite_parameters, daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def params8():
+    """daelite parameters with the paper's Fig. 6 slot-table size."""
+    return daelite_parameters(slot_table_size=8)
+
+
+@pytest.fixture
+def params16():
+    """daelite parameters with the paper's default wheel of 16."""
+    return daelite_parameters(slot_table_size=16)
+
+
+@pytest.fixture
+def aelite_params8():
+    return aelite_parameters(slot_table_size=8)
+
+
+@pytest.fixture
+def mesh22():
+    """A fresh 2x2 mesh (paper's area-comparison platform)."""
+    return build_mesh(2, 2)
+
+
+@pytest.fixture
+def mesh33():
+    return build_mesh(3, 3)
+
+
+def make_connected_network(
+    topology,
+    params,
+    src="NI00",
+    dst="NI11",
+    forward_slots=2,
+    reverse_slots=1,
+    host=None,
+    label="conn",
+):
+    """Build a daelite network with one configured connection.
+
+    Returns (network, connection, handle).
+    """
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            label,
+            src,
+            dst,
+            forward_slots=forward_slots,
+            reverse_slots=reverse_slots,
+        )
+    )
+    network = DaeliteNetwork(topology, params, host_ni=host or src)
+    handle = network.configure(connection)
+    return network, connection, handle
+
+
+def pump_until_delivered(network, dst_ni, channel, expected, max_steps=3000):
+    """Step the network, draining ``channel`` at ``dst_ni``, until
+    ``expected`` payloads arrived (returned in order)."""
+    payloads = []
+    for _ in range(max_steps):
+        network.run(2)
+        payloads.extend(
+            word.payload for word in network.ni(dst_ni).receive(channel)
+        )
+        if len(payloads) >= expected:
+            break
+    return payloads

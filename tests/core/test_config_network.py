@@ -1,0 +1,157 @@
+"""Tests for the configuration broadcast network and module.
+
+These run the *real* cycle machinery: the config module serializes words
+onto narrow links, every element forwards to its children with 2-cycle
+hops, decoders commit at the end-of-packet gap, and responses travel the
+reverse tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ChannelField,
+    DaeliteNetwork,
+    Direction,
+    build_channel_config_packet,
+    build_channel_read_packet,
+    build_bus_config_packet,
+)
+from repro.errors import ConfigurationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def net():
+    return DaeliteNetwork(
+        build_mesh(2, 2),
+        daelite_parameters(slot_table_size=8),
+        host_ni="NI00",
+    )
+
+
+def submit_and_finish(net, packet, expected_responses=None):
+    request = net.config_module.submit(
+        packet, cycle=net.kernel.cycle, expected_responses=expected_responses
+    )
+    net.kernel.run_until(lambda: request.done, max_cycles=10_000)
+    return request
+
+
+class TestConfigDelivery:
+    def test_channel_write_reaches_remote_ni(self, net):
+        target = net.topology.element("NI11").element_id
+        packet = build_channel_config_packet(
+            target,
+            Direction.INJECT,
+            channel=2,
+            fields=[(ChannelField.CREDIT, 6)],
+        )
+        submit_and_finish(net, packet)
+        assert net.ni("NI11").source_channel(2).credit_counter == 6
+
+    def test_broadcast_reaches_all_nis_but_configures_one(self, net):
+        target = net.topology.element("NI10").element_id
+        packet = build_channel_config_packet(
+            target,
+            Direction.ARRIVE,
+            channel=1,
+            fields=[(ChannelField.FLAGS, 3)],
+        )
+        submit_and_finish(net, packet)
+        assert net.ni("NI10").dest_channel(1).flags == 3
+        assert 1 not in net.ni("NI11").dest_channels
+
+    def test_read_round_trip(self, net):
+        net.ni("NI11").source_channel(4).credit_counter = 9
+        target = net.topology.element("NI11").element_id
+        packet = build_channel_read_packet(
+            target, Direction.INJECT, 4, ChannelField.CREDIT
+        )
+        request = submit_and_finish(net, packet)
+        assert request.responses == [9]
+
+    def test_bus_config_payload_delivered(self, net):
+        target = net.topology.element("NI01").element_id
+        packet = build_bus_config_packet(target, [1, 2, 3, 4])
+        submit_and_finish(net, packet)
+        assert net.ni("NI01").bus_config_words == [1, 2, 3, 4]
+
+    def test_requests_serialize(self, net):
+        first_target = net.topology.element("NI11").element_id
+        second_target = net.topology.element("NI10").element_id
+        first = net.config_module.submit(
+            build_channel_config_packet(
+                first_target,
+                Direction.INJECT,
+                0,
+                [(ChannelField.CREDIT, 1)],
+            ),
+            cycle=0,
+        )
+        second = net.config_module.submit(
+            build_channel_config_packet(
+                second_target,
+                Direction.INJECT,
+                0,
+                [(ChannelField.CREDIT, 2)],
+            ),
+            cycle=0,
+        )
+        net.kernel.run_until(lambda: second.done, max_cycles=10_000)
+        assert first.done
+        # The second transmission starts only after the first's
+        # cool-down elapsed.
+        assert second.started_at > first.started_at + len(first.packet)
+
+    def test_setup_cycles_property_requires_completion(self, net):
+        target = net.topology.element("NI11").element_id
+        request = net.config_module.submit(
+            build_channel_config_packet(
+                target, Direction.INJECT, 0, [(ChannelField.CREDIT, 1)]
+            ),
+            cycle=0,
+        )
+        with pytest.raises(ConfigurationError):
+            _ = request.setup_cycles
+
+
+class TestSetupTimeProperties:
+    def test_setup_time_independent_of_slot_count(self, net):
+        """Table III: 'the set-up time is dependent on path length but
+        not on the number of slots used by the connection'."""
+        from repro.alloc import SlotAllocator, ChannelRequest
+
+        allocator = SlotAllocator(
+            topology=net.topology, params=net.params, policy="first"
+        )
+        times = []
+        for slots in (1, 2, 4):
+            channel = allocator.allocate_channel(
+                ChannelRequest(
+                    f"c{slots}", "NI00", "NI11", slots=slots
+                )
+            )
+            handle = net.host.setup_path_only(channel)
+            net.kernel.run_until(lambda: handle.done, max_cycles=10_000)
+            times.append(handle.setup_cycles)
+        assert times[0] == times[1] == times[2]
+
+    def test_setup_time_grows_with_path_length(self):
+        mesh = build_mesh(4, 1)
+        params = daelite_parameters(slot_table_size=8)
+        net = DaeliteNetwork(mesh, params, host_ni="NI00")
+        from repro.alloc import SlotAllocator, ChannelRequest
+
+        allocator = SlotAllocator(topology=mesh, params=params)
+        times = []
+        for dst in ("NI10", "NI20", "NI30"):
+            channel = allocator.allocate_channel(
+                ChannelRequest(f"to{dst}", "NI00", dst, slots=1)
+            )
+            handle = net.host.setup_path_only(channel)
+            net.kernel.run_until(lambda: handle.done, max_cycles=10_000)
+            times.append(handle.setup_cycles)
+        assert times[0] < times[1] < times[2]

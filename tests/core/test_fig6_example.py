@@ -1,0 +1,172 @@
+"""Golden test: the paper's Fig. 6 path set-up example.
+
+"Consider the following example ... A set-up operation is performed for a
+communication channel using the path NI10-R10-R11-NI11. ... We assume
+here a slot table size of 8.  The two bits set to one in this example
+identify slots 7 and 4. ... the first pair of configuration words in the
+configuration packet after the list of affected slots instructs NI-11 to
+use output 0 during slots 4 and 7.  The second pair instructs router R-11
+to forward data from input 1 to output 2 during slots 3 and 6 because the
+list of affected slots has already been rotated by one position.  The
+third pair instructs router R-10 to forward data from input 2 to output
+1, etc."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc.spec import AllocatedChannel
+from repro.core import (
+    ConfigDecoder,
+    Direction,
+    channel_path_packet,
+    ni_channel_word,
+    router_port_word,
+)
+from repro.topology import ElementKind, Topology
+
+
+@pytest.fixture
+def fig6_topology():
+    """The two-router fragment of Fig. 6 with the paper's port numbers.
+
+    Port order is chosen so that R11 receives from input 1 and forwards
+    to output 2, and R10 forwards from input 2 to output 1, matching the
+    text.
+    """
+    topology = Topology("fig6")
+    r10 = topology.add_router("R10")
+    r11 = topology.add_router("R11")
+    ni10 = topology.add_ni("NI10")
+    ni11 = topology.add_ni("NI11")
+    # R10 ports: 0 filler, 1 -> R11, 2 -> NI10.
+    topology.add_router("Rf0")
+    topology.connect("R10", "Rf0")  # port 0
+    topology.connect("R10", "R11")  # R10 port 1; R11 port 0
+    topology.connect("R10", "NI10")  # R10 port 2
+    # R11 ports so far: 0 -> R10; add filler for port 1, NI11 on port 2.
+    topology.add_router("Rf1")
+    topology.connect("R11", "Rf1")  # R11 port 1
+    topology.connect("R11", "NI11")  # R11 port 2
+    return topology
+
+
+def fig6_channel():
+    """The paper's channel: path NI10-R10-R11-NI11, arrival slots {7,4}.
+
+    Arrival slots are injection slots + path length (3 elements
+    upstream), so the injection slots are {4, 1}.
+    """
+    return AllocatedChannel(
+        label="fig6",
+        path=("NI10", "R10", "R11", "NI11"),
+        slots=frozenset({4, 1}),
+        slot_table_size=8,
+    )
+
+
+class TestFig6Packet:
+    def test_packet_word_stream(self, fig6_topology):
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        words = list(packet.words)
+        # Header word.
+        assert words[0] == 1
+        # Slot mask for arrival slots {7, 4}: little-endian 7-bit words.
+        assert words[1] == 0b0010000  # slot 4
+        assert words[2] == 0b0000001  # slot 7
+        # Pairs, destination first.
+        ni11 = fig6_topology.element("NI11").element_id
+        r11 = fig6_topology.element("R11").element_id
+        r10 = fig6_topology.element("R10").element_id
+        ni10 = fig6_topology.element("NI10").element_id
+        assert words[3] == ni11
+        assert words[4] == ni_channel_word(Direction.ARRIVE, 0)
+        assert words[5] == r11
+        assert words[6] == router_port_word(0, 2)  # R10-side in, NI out
+        assert words[7] == r10
+        assert words[8] == router_port_word(2, 1)  # NI in, R11 out
+        assert words[9] == ni10
+        assert words[10] == ni_channel_word(Direction.INJECT, 0)
+
+    def test_r11_programs_slots_3_and_6(self, fig6_topology):
+        """The paper: R-11 forwards 'during slots 3 and 6'."""
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        decoder = ConfigDecoder(
+            element_id=fig6_topology.element("R11").element_id,
+            kind=ElementKind.ROUTER,
+            slot_table_size=8,
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({3, 6})
+        assert action.output == 2
+
+    def test_r10_programs_slots_2_and_5(self, fig6_topology):
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        decoder = ConfigDecoder(
+            element_id=fig6_topology.element("R10").element_id,
+            kind=ElementKind.ROUTER,
+            slot_table_size=8,
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({2, 5})
+        assert action.input_port == 2
+        assert action.output == 1
+
+    def test_ni11_uses_slots_4_and_7(self, fig6_topology):
+        """The paper: NI-11 'use[s] output 0 during slots 4 and 7'."""
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        decoder = ConfigDecoder(
+            element_id=fig6_topology.element("NI11").element_id,
+            kind=ElementKind.NI,
+            slot_table_size=8,
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({4, 7})
+        assert action.direction is Direction.ARRIVE
+
+    def test_ni10_injects_at_slots_1_and_4(self, fig6_topology):
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        decoder = ConfigDecoder(
+            element_id=fig6_topology.element("NI10").element_id,
+            kind=ElementKind.NI,
+            slot_table_size=8,
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({1, 4})
+        assert action.direction is Direction.INJECT
+
+    def test_three_host_words_suffice(self, fig6_topology):
+        """The paper: 'The host IP ... writes 3 data words to the
+        configuration module' — 11 seven-bit words fit in three 32-bit
+        host writes."""
+        channel = fig6_channel()
+        packet = channel_path_packet(
+            fig6_topology, channel, src_channel=0, dst_channel=0
+        )
+        bits = len(packet.words) * 7
+        host_words = -(-bits // 32)
+        assert host_words == 3

@@ -1,0 +1,176 @@
+"""Tests for run-time connection management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, MulticastRequest
+from repro.core import DaeliteNetwork, OnlineConnectionManager
+from repro.errors import AllocationError, ConfigurationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def manager():
+    topology = build_mesh(3, 3)
+    params = daelite_parameters(slot_table_size=16)
+    network = DaeliteNetwork(topology, params, host_ni="NI11")
+    return OnlineConnectionManager(network)
+
+
+class TestOpenClose:
+    def test_open_carries_traffic(self, manager):
+        record = manager.open_connection(
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=2)
+        )
+        net = manager.network
+        net.ni("NI00").submit_words(
+            record.handle.forward.src_channel, [1, 2, 3], "c"
+        )
+        received = []
+        for _ in range(500):
+            net.run(2)
+            received.extend(
+                w.payload
+                for w in net.ni("NI22").receive(
+                    record.handle.forward.dst_channel
+                )
+            )
+            if len(received) == 3:
+                break
+        assert received == [1, 2, 3]
+        assert record.setup_cycles > 0
+
+    def test_close_releases_slots(self, manager):
+        manager.open_connection(
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=2)
+        )
+        claims = manager.claimed_slots
+        assert claims > 0
+        manager.close_connection("c")
+        assert manager.claimed_slots == 0
+        assert manager.open_labels == []
+
+    def test_duplicate_label_rejected(self, manager):
+        manager.open_connection(ConnectionRequest("c", "NI00", "NI22"))
+        with pytest.raises(AllocationError, match="already open"):
+            manager.open_connection(
+                ConnectionRequest("c", "NI10", "NI02")
+            )
+
+    def test_close_unknown_rejected(self, manager):
+        with pytest.raises(ConfigurationError, match="not open"):
+            manager.close_connection("ghost")
+
+    def test_failed_allocation_leaves_no_claims(self, manager):
+        manager.open_connection(
+            ConnectionRequest(
+                "hog", "NI00", "NI01", forward_slots=15
+            )
+        )
+        claims = manager.claimed_slots
+        with pytest.raises(AllocationError):
+            manager.open_connection(
+                ConnectionRequest("late", "NI00", "NI01", forward_slots=5)
+            )
+        assert manager.claimed_slots == claims
+
+    def test_churn_leaves_clean_state(self, manager):
+        """Open/close cycles must not leak slots or channel state."""
+        for round_number in range(3):
+            for index, (src, dst) in enumerate(
+                [("NI00", "NI22"), ("NI20", "NI02")]
+            ):
+                manager.open_connection(
+                    ConnectionRequest(
+                        f"r{round_number}_{index}", src, dst
+                    )
+                )
+            for index in range(2):
+                manager.close_connection(f"r{round_number}_{index}")
+        assert manager.claimed_slots == 0
+        assert len(manager.setup_history) == 6
+        assert len(manager.teardown_history) == 6
+
+    def test_slots_reusable_after_close(self, manager):
+        manager.open_connection(
+            ConnectionRequest("a", "NI00", "NI01", forward_slots=15)
+        )
+        manager.close_connection("a")
+        manager.open_connection(
+            ConnectionRequest("b", "NI00", "NI01", forward_slots=15)
+        )
+
+
+class TestMulticastLifecycle:
+    def test_open_close_multicast(self, manager):
+        record = manager.open_multicast(
+            MulticastRequest("m", "NI00", ("NI22", "NI20"), slots=2)
+        )
+        net = manager.network
+        net.ni("NI00").submit_words(
+            record.handle.src_channel, [5, 6], "m"
+        )
+        net.run(300)
+        for dst in ("NI22", "NI20"):
+            got = net.ni(dst).receive(record.handle.dst_channels[dst])
+            assert [w.payload for w in got] == [5, 6]
+        manager.close_multicast("m")
+        assert manager.claimed_slots == 0
+
+    def test_duplicate_multicast_rejected(self, manager):
+        manager.open_multicast(
+            MulticastRequest("m", "NI00", ("NI22",))
+        )
+        with pytest.raises(AllocationError):
+            manager.open_multicast(
+                MulticastRequest("m", "NI00", ("NI20",))
+            )
+
+
+class TestStatistics:
+    def test_mean_setup(self, manager):
+        assert manager.mean_setup_cycles() is None
+        manager.open_connection(ConnectionRequest("a", "NI00", "NI22"))
+        manager.open_connection(ConnectionRequest("b", "NI20", "NI02"))
+        assert manager.mean_setup_cycles() > 0
+
+    def test_traffic_survives_neighbor_churn(self, manager):
+        """Opening and closing other connections never perturbs an
+        established stream (the paper's dynamic-reconfiguration
+        scenario, with run-time allocation)."""
+        stream = manager.open_connection(
+            ConnectionRequest("stream", "NI00", "NI22", forward_slots=2)
+        )
+        net = manager.network
+        words = 150
+        net.ni("NI00").submit_words(
+            stream.handle.forward.src_channel,
+            list(range(words)),
+            "stream",
+        )
+        received = []
+
+        def pump(cycles):
+            for _ in range(cycles):
+                net.run(1)
+                received.extend(
+                    w.payload
+                    for w in net.ni("NI22").receive(
+                        stream.handle.forward.dst_channel
+                    )
+                )
+
+        pump(60)
+        manager.open_connection(
+            ConnectionRequest("temp", "NI20", "NI02", forward_slots=3)
+        )
+        pump(60)
+        manager.close_connection("temp")
+        for _ in range(5000):
+            pump(1)
+            if len(received) >= words:
+                break
+        assert received == list(range(words))
+        assert net.total_dropped_words == 0

@@ -1,0 +1,159 @@
+"""Unit tests for slot tables and the rotating slot mask."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NiArrivalTable,
+    NiInjectionTable,
+    RouterSlotTable,
+    SlotMask,
+)
+from repro.errors import ParameterError, ScheduleError
+
+
+class TestSlotMask:
+    def test_rotation_matches_fig6(self):
+        # Fig. 6: slots {7, 4} rotate to {6, 3} at the next element.
+        mask = SlotMask.of(8, {7, 4})
+        assert mask.rotate().slots == frozenset({6, 3})
+
+    def test_rotation_wraps(self):
+        mask = SlotMask.of(8, {0})
+        assert mask.rotate().slots == frozenset({7})
+
+    def test_rotation_by_table_size_is_identity(self):
+        mask = SlotMask.of(8, {1, 5})
+        assert mask.rotate(8).slots == mask.slots
+
+    def test_bits_roundtrip(self):
+        mask = SlotMask.of(16, {0, 7, 15})
+        assert SlotMask.from_bits(16, mask.to_bits()) == mask
+
+    def test_words_roundtrip(self):
+        mask = SlotMask.of(8, {7, 4})
+        words = mask.to_words(7)
+        assert len(words) == 2  # ceil(8/7)
+        assert SlotMask.from_words(8, words, 7) == mask
+
+    def test_words_are_zero_padded(self):
+        mask = SlotMask.of(8, {7})
+        words = mask.to_words(7)
+        # Slot 7 lands in bit 0 of the second word; the rest is padding.
+        assert words == [0, 1]
+
+    def test_large_table_word_count(self):
+        mask = SlotMask.of(32, {31})
+        assert len(mask.to_words(7)) == 5
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(ParameterError):
+            SlotMask.of(8, {8})
+
+    def test_from_words_wrong_count(self):
+        with pytest.raises(ParameterError, match="expected"):
+            SlotMask.from_words(8, [0], 7)
+
+    def test_from_bits_excess_rejected(self):
+        with pytest.raises(ParameterError):
+            SlotMask.from_bits(4, 0b10000)
+
+    def test_iteration_sorted(self):
+        assert list(SlotMask.of(8, {5, 1, 3})) == [1, 3, 5]
+
+    def test_len(self):
+        assert len(SlotMask.of(8, {1, 2})) == 2
+
+
+class TestRouterSlotTable:
+    def test_set_and_get(self):
+        table = RouterSlotTable(ports=3, slot_table_size=8)
+        table.set_entry(output=1, slot=4, input_port=2)
+        assert table.entry(1, 4) == 2
+        assert table.entry(1, 5) is None
+
+    def test_slot_wraps(self):
+        table = RouterSlotTable(3, 8)
+        table.set_entry(1, 4, 2)
+        assert table.entry(1, 12) == 2
+
+    def test_conflicting_entry_rejected(self):
+        table = RouterSlotTable(3, 8)
+        table.set_entry(0, 2, 1)
+        with pytest.raises(ScheduleError, match="already forwards"):
+            table.set_entry(0, 2, 2)
+
+    def test_idempotent_set_allowed(self):
+        table = RouterSlotTable(3, 8)
+        table.set_entry(0, 2, 1)
+        table.set_entry(0, 2, 1)
+
+    def test_clear(self):
+        table = RouterSlotTable(3, 8)
+        table.set_entry(0, 2, 1)
+        table.clear_entry(0, 2)
+        assert table.entry(0, 2) is None
+
+    def test_multicast_same_input_two_outputs(self):
+        table = RouterSlotTable(3, 8)
+        table.set_entry(0, 2, 1)
+        table.set_entry(2, 2, 1)
+        assert table.inputs_for_slot(2) == {0: 1, 2: 1}
+
+    def test_apply_mask_sets_and_clears(self):
+        table = RouterSlotTable(3, 8)
+        mask = SlotMask.of(8, {1, 5})
+        table.apply_mask(0, mask, 2)
+        assert table.occupied_slots(0) == {1, 5}
+        table.apply_mask(0, mask, None)
+        assert table.occupied_slots(0) == set()
+
+    def test_utilization(self):
+        table = RouterSlotTable(2, 8)
+        table.set_entry(0, 0, 1)
+        assert table.utilization() == pytest.approx(1 / 16)
+
+    def test_port_range_checks(self):
+        table = RouterSlotTable(3, 8)
+        with pytest.raises(ParameterError):
+            table.set_entry(3, 0, 0)
+        with pytest.raises(ParameterError):
+            table.set_entry(0, 0, 3)
+        with pytest.raises(ParameterError):
+            table.set_entry(0, 8, 0)
+        with pytest.raises(ParameterError):
+            table.entry(5, 0)
+
+
+class TestNiTables:
+    def test_injection_grant_and_query(self):
+        table = NiInjectionTable(8)
+        table.set_slot(3, channel=1)
+        assert table.channel(3) == 1
+        assert table.slots_of(1) == {3}
+
+    def test_conflicting_grant_rejected(self):
+        table = NiInjectionTable(8)
+        table.set_slot(3, 1)
+        with pytest.raises(ScheduleError, match="already granted"):
+            table.set_slot(3, 2)
+
+    def test_clear_slot(self):
+        table = NiInjectionTable(8)
+        table.set_slot(3, 1)
+        table.clear_slot(3)
+        assert table.channel(3) is None
+
+    def test_apply_mask(self):
+        table = NiArrivalTable(8)
+        mask = SlotMask.of(8, {0, 4})
+        table.apply_mask(mask, 2)
+        assert table.slots_of(2) == {0, 4}
+        table.apply_mask(mask, None)
+        assert table.slots_of(2) == set()
+
+    def test_slot_out_of_range(self):
+        table = NiInjectionTable(8)
+        with pytest.raises(ParameterError):
+            table.set_slot(9, 0)

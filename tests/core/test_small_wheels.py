@@ -1,0 +1,100 @@
+"""Extreme wheel sizes: T = 1 and T = 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+from ..conftest import pump_until_delivered
+
+
+class TestWheelOfOne:
+    """T = 1: a single slot — pure circuit switching, one connection
+    per link direction (the SoCBUS end of the design space)."""
+
+    def test_single_connection_works(self):
+        mesh = build_mesh(2, 1)
+        params = daelite_parameters(slot_table_size=1)
+        allocator = SlotAllocator(topology=mesh, params=params)
+        conn = allocator.allocate_connection(
+            ConnectionRequest(
+                "only", "NI00", "NI10", forward_slots=1, reverse_slots=1
+            )
+        )
+        net = DaeliteNetwork(mesh, params, host_ni="NI00")
+        handle = net.configure(conn)
+        net.ni("NI00").submit_words(
+            handle.forward.src_channel, list(range(10)), "only"
+        )
+        payloads = pump_until_delivered(
+            net, "NI10", handle.forward.dst_channel, 10
+        )
+        assert payloads == list(range(10))
+
+    def test_second_connection_blocked(self):
+        """'This approach has a very low cost but it may result in
+        excessive blocking' — with one slot, the link is taken."""
+        mesh = build_mesh(2, 1, nis_per_router=2)
+        params = daelite_parameters(slot_table_size=1)
+        allocator = SlotAllocator(topology=mesh, params=params)
+        allocator.allocate_connection(
+            ConnectionRequest("first", "NI00", "NI10")
+        )
+        with pytest.raises(AllocationError):
+            allocator.allocate_connection(
+                ConnectionRequest("second", "NI00_1", "NI10_1")
+            )
+
+    def test_full_wheel_bandwidth(self):
+        mesh = build_mesh(2, 1)
+        params = daelite_parameters(slot_table_size=1)
+        allocator = SlotAllocator(topology=mesh, params=params)
+        conn = allocator.allocate_connection(
+            ConnectionRequest("only", "NI00", "NI10")
+        )
+        from repro.analysis import guaranteed_bandwidth_words_per_cycle
+
+        assert guaranteed_bandwidth_words_per_cycle(
+            conn.forward, params
+        ) == pytest.approx(1.0)
+
+
+class TestWheelOfTwo:
+    def test_two_connections_share_a_link(self):
+        mesh = build_mesh(2, 1, nis_per_router=2)
+        params = daelite_parameters(slot_table_size=2)
+        allocator = SlotAllocator(topology=mesh, params=params)
+        first = allocator.allocate_connection(
+            ConnectionRequest("a", "NI00", "NI10")
+        )
+        second = allocator.allocate_connection(
+            ConnectionRequest("b", "NI00_1", "NI10_1")
+        )
+        net = DaeliteNetwork(mesh, params, host_ni="NI00")
+        handle_a = net.configure(first)
+        handle_b = net.configure(second)
+        net.ni("NI00").submit_words(
+            handle_a.forward.src_channel, [1, 2], "a"
+        )
+        net.ni("NI00_1").submit_words(
+            handle_b.forward.src_channel, [3, 4], "b"
+        )
+        assert pump_until_delivered(
+            net, "NI10", handle_a.forward.dst_channel, 2
+        ) == [1, 2]
+        assert pump_until_delivered(
+            net, "NI10_1", handle_b.forward.dst_channel, 2
+        ) == [3, 4]
+        assert net.total_dropped_words == 0
+
+    def test_mask_single_word(self):
+        """T=2 needs a single 7-bit mask word (with padding)."""
+        from repro.analysis import path_packet_words
+
+        params = daelite_parameters(slot_table_size=2)
+        assert path_packet_words(1, params) == 1 + 1 + 2 * 3

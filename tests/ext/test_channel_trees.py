@@ -1,0 +1,131 @@
+"""Tests for the channel-tree (slot sharing) extension.
+
+The headline test demonstrates the paper's rationale for excluding
+channel trees: sharing slots breaks per-connection guarantees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.analysis import worst_case_latency_cycles
+from repro.core import DaeliteNetwork
+from repro.errors import TrafficError
+from repro.ext import SharedChannel, tag_payload, untag_payload
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def shared_setup():
+    topology = build_mesh(2, 2)
+    params = daelite_parameters(slot_table_size=16)
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest("tree", "NI00", "NI11", forward_slots=2)
+    )
+    network = DaeliteNetwork(topology, params)
+    handle = network.configure(connection)
+    return network, params, connection, handle
+
+
+class TestTagging:
+    def test_roundtrip(self):
+        word = tag_payload(5, 12345)
+        assert untag_payload(word) == (5, 12345)
+
+    def test_flow_range(self):
+        with pytest.raises(TrafficError):
+            tag_payload(16, 0)
+
+    def test_payload_range(self):
+        with pytest.raises(TrafficError):
+            tag_payload(0, 1 << 29)
+
+
+class TestSharedChannel:
+    def test_flows_share_one_slot_set(self, shared_setup):
+        network, params, connection, handle = shared_setup
+        shared = SharedChannel("tree", network, handle, flows=3)
+        network.kernel.add(shared)
+        for flow in range(3):
+            for payload in range(10):
+                shared.submit(flow, flow * 100 + payload)
+        network.kernel.run_until(
+            lambda: all(
+                shared.stats[flow].delivered == 10 for flow in range(3)
+            ),
+            max_cycles=20_000,
+        )
+        for flow in range(3):
+            assert shared.delivered[flow] == [
+                flow * 100 + payload for payload in range(10)
+            ]
+
+    def test_round_robin_is_fair(self, shared_setup):
+        network, params, connection, handle = shared_setup
+        shared = SharedChannel("tree", network, handle, flows=2)
+        network.kernel.add(shared)
+        for payload in range(30):
+            shared.submit(0, payload)
+            shared.submit(1, 1000 + payload)
+        network.kernel.run_until(
+            lambda: shared.stats[0].delivered
+            + shared.stats[1].delivered
+            >= 40,
+            max_cycles=20_000,
+        )
+        # Neither flow lags far behind the other.
+        assert abs(
+            shared.stats[0].delivered - shared.stats[1].delivered
+        ) <= 2
+
+    def test_sharing_breaks_the_latency_guarantee(self, shared_setup):
+        """The paper: "This sharing may render invalid the service
+        guarantees per connection".  A flow alone on the channel meets
+        the single-channel bound; with two greedy competitors it
+        exceeds it."""
+        network, params, connection, handle = shared_setup
+        bound = worst_case_latency_cycles(connection.forward, params)
+        shared = SharedChannel("tree", network, handle, flows=3)
+        network.kernel.add(shared)
+        # Competitors flood first; the victim then submits one word.
+        for payload in range(40):
+            shared.submit(1, payload)
+            shared.submit(2, payload)
+        network.run(4)
+        shared.submit(0, 7)
+        network.kernel.run_until(
+            lambda: shared.stats[0].delivered == 1, max_cycles=30_000
+        )
+        victim_latency = shared.stats[0].max_latency
+        assert victim_latency > bound, (
+            f"victim saw {victim_latency} <= bound {bound}; "
+            f"sharing should have broken the guarantee"
+        )
+
+    def test_alone_on_shared_channel_meets_bound(self, shared_setup):
+        network, params, connection, handle = shared_setup
+        bound = worst_case_latency_cycles(connection.forward, params)
+        shared = SharedChannel("tree", network, handle, flows=3)
+        network.kernel.add(shared)
+        shared.submit(0, 1)
+        network.kernel.run_until(
+            lambda: shared.stats[0].delivered == 1, max_cycles=10_000
+        )
+        # One arbitration hand-off cycle of slack.
+        assert shared.stats[0].max_latency <= bound + 2
+
+    def test_flow_count_validation(self, shared_setup):
+        network, params, connection, handle = shared_setup
+        with pytest.raises(TrafficError):
+            SharedChannel("bad", network, handle, flows=0)
+        with pytest.raises(TrafficError):
+            SharedChannel("bad", network, handle, flows=17)
+
+    def test_unknown_flow_rejected(self, shared_setup):
+        network, params, connection, handle = shared_setup
+        shared = SharedChannel("tree", network, handle, flows=2)
+        with pytest.raises(TrafficError):
+            shared.submit(5, 0)

@@ -1,0 +1,196 @@
+"""Tests for the pipelined (mesochronous-tolerant) link extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.alloc.spec import AllocatedChannel
+from repro.errors import AllocationError, ParameterError
+from repro.ext import (
+    PAD_ELEMENT_ID,
+    PipelinedDaeliteNetwork,
+    pipelined_path_packet,
+)
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def params():
+    return daelite_parameters(slot_table_size=8)
+
+
+def make_network(params, delays=None):
+    topology = build_mesh(2, 2)
+    delays = delays or {("R00", "R01"): 2, ("R01", "R00"): 2}
+    network = PipelinedDaeliteNetwork(
+        topology, params, host_ni="NI00", link_extra_slots=delays
+    )
+    allocator = SlotAllocator(topology=topology, params=params)
+    return network, allocator
+
+
+class TestChannelDelays:
+    def test_table_slots_shifted_past_slow_link(self):
+        channel = AllocatedChannel(
+            label="c",
+            path=("NIa", "Ra", "Rb", "NIb"),
+            slots=frozenset({1}),
+            slot_table_size=8,
+            link_delays=(0, 2, 0),
+        )
+        assert channel.table_slots(0) == frozenset({1})
+        assert channel.table_slots(1) == frozenset({2})
+        # After the 2-slot link, Rb is shifted by 1 + 2.
+        assert channel.table_slots(2) == frozenset({5})
+        assert channel.arrival_slots == frozenset({6})
+
+    def test_link_claims_use_entry_slots(self):
+        channel = AllocatedChannel(
+            label="c",
+            path=("NIa", "Ra", "Rb", "NIb"),
+            slots=frozenset({0}),
+            slot_table_size=8,
+            link_delays=(0, 2, 0),
+        )
+        claims = dict(channel.link_claims())
+        assert claims[("NIa", "Ra")] == 1
+        assert claims[("Ra", "Rb")] == 2  # entry slot
+        assert claims[("Rb", "NIb")] == 5  # after the 2-slot delay
+
+    def test_delay_validation(self):
+        with pytest.raises(AllocationError, match="link delays"):
+            AllocatedChannel(
+                label="c",
+                path=("NIa", "Ra", "NIb"),
+                slots=frozenset({0}),
+                slot_table_size=8,
+                link_delays=(1,),
+            )
+        with pytest.raises(AllocationError, match="negative"):
+            AllocatedChannel(
+                label="c",
+                path=("NIa", "Ra", "NIb"),
+                slots=frozenset({0}),
+                slot_table_size=8,
+                link_delays=(0, -1),
+            )
+
+
+class TestPipelinedNetwork:
+    def test_end_to_end_latency_includes_link_delay(self, params):
+        network, allocator = make_network(params)
+        connection = network.allocate_connection(
+            allocator,
+            ConnectionRequest("c", "NI00", "NI01", forward_slots=2),
+        )
+        assert connection.forward.link_delays == (0, 2, 0)
+        handle = network.configure_pipelined(connection)
+        network.ni("NI00").submit_words(
+            handle.forward.src_channel, list(range(20)), "c"
+        )
+        received = []
+        for _ in range(2000):
+            network.run(1)
+            received.extend(
+                w.payload
+                for w in network.ni("NI01").receive(
+                    handle.forward.dst_channel
+                )
+            )
+            if len(received) == 20:
+                break
+        assert received == list(range(20))
+        stats = network.stats.connections["c"]
+        hops = connection.forward.hops
+        extra = 2 * params.words_per_slot
+        assert stats.min_latency == 2 * hops + 1 + extra
+        assert network.total_dropped_words == 0
+
+    def test_credits_cross_slow_link(self, params):
+        """Streams longer than the buffer require the reverse channel
+        (and its credits) to cross the delayed link too."""
+        network, allocator = make_network(params)
+        connection = network.allocate_connection(
+            allocator,
+            ConnectionRequest("c", "NI00", "NI01", forward_slots=2),
+        )
+        handle = network.configure_pipelined(connection)
+        count = 6 * params.channel_buffer_words
+        network.ni("NI00").submit_words(
+            handle.forward.src_channel, list(range(count)), "c"
+        )
+        received = 0
+        for _ in range(20_000):
+            network.run(1)
+            received += len(
+                network.ni("NI01").receive(handle.forward.dst_channel)
+            )
+            if received == count:
+                break
+        assert received == count
+
+    def test_plain_links_unaffected(self, params):
+        network, allocator = make_network(params)
+        connection = network.allocate_connection(
+            allocator,
+            ConnectionRequest("d", "NI00", "NI10", forward_slots=1),
+        )
+        assert connection.forward.link_delays == (0, 0, 0)
+        handle = network.configure_pipelined(connection)
+        network.ni("NI00").submit_words(
+            handle.forward.src_channel, [7], "d"
+        )
+        network.run(60)
+        got = network.ni("NI10").receive(handle.forward.dst_channel)
+        assert [w.payload for w in got] == [7]
+        stats = network.stats.connections["d"]
+        assert stats.min_latency == 2 * connection.forward.hops + 1
+
+    def test_negative_delay_rejected(self, params):
+        with pytest.raises(ParameterError):
+            PipelinedDaeliteNetwork(
+                build_mesh(2, 2),
+                params,
+                link_extra_slots={("R00", "R01"): -1},
+            )
+
+
+class TestPaddedPackets:
+    def test_pad_pairs_inserted(self, params):
+        network, allocator = make_network(params)
+        connection = network.allocate_connection(
+            allocator,
+            ConnectionRequest("c", "NI00", "NI01", forward_slots=1),
+        )
+        packet = pipelined_path_packet(
+            network.topology,
+            connection.forward,
+            src_channel=0,
+            dst_channel=0,
+        )
+        # 4 real pairs + 2 pads for the 2-slot link.
+        mask_words = -(-params.slot_table_size // 7)
+        assert len(packet.words) == 1 + mask_words + 2 * (4 + 2)
+        pad_words = [
+            word
+            for word in packet.words[1 + mask_words :: 2]
+            if word == PAD_ELEMENT_ID
+        ]
+        assert len(pad_words) == 2
+
+    def test_shared_allocator_with_plain_channels(self, params):
+        """Pipelined and plain channels share one ledger without
+        conflicts (the claims account for the delays)."""
+        network, allocator = make_network(params)
+        slow = network.allocate_connection(
+            allocator,
+            ConnectionRequest("slow", "NI00", "NI01", forward_slots=3),
+        )
+        plain = allocator.allocate_connection(
+            ConnectionRequest("plain", "NI10", "NI11", forward_slots=3)
+        )
+        from repro.alloc import validate_schedule
+
+        validate_schedule(network.topology, [slow, plain])

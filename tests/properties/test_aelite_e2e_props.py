@@ -1,0 +1,136 @@
+"""Property-based end-to-end tests on the aelite baseline simulator.
+
+Parity with the daelite properties: lossless in-order delivery and the
+3-cycles/hop latency floor hold for random configurations of the
+baseline too — the head-to-head comparisons rest on both simulators
+being correct.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aelite import AeliteNetwork
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.params import aelite_parameters
+from repro.topology import build_mesh
+
+
+@st.composite
+def aelite_scenarios(draw):
+    slot_table_size = draw(st.sampled_from([8, 16]))
+    forward_slots = draw(st.integers(min_value=1, max_value=3))
+    word_count = draw(st.integers(min_value=1, max_value=25))
+    endpoints = draw(
+        st.sampled_from(
+            [
+                ("NI00", "NI11"),
+                ("NI00", "NI10"),
+                ("NI10", "NI01"),
+                ("NI11", "NI00"),
+            ]
+        )
+    )
+    policy = draw(st.sampled_from(["first", "spread"]))
+    return slot_table_size, forward_slots, word_count, endpoints, policy
+
+
+class TestAeliteEndToEnd:
+    @settings(max_examples=20, deadline=None)
+    @given(aelite_scenarios())
+    def test_lossless_in_order_delivery(self, scenario):
+        (
+            slot_table_size,
+            forward_slots,
+            word_count,
+            endpoints,
+            policy,
+        ) = scenario
+        topology = build_mesh(2, 2)
+        params = aelite_parameters(slot_table_size=slot_table_size)
+        allocator = SlotAllocator(
+            topology=topology, params=params, policy=policy
+        )
+        connection = allocator.allocate_connection(
+            ConnectionRequest(
+                "a",
+                endpoints[0],
+                endpoints[1],
+                forward_slots=forward_slots,
+            )
+        )
+        network = AeliteNetwork(topology, params)
+        handle = network.install_connection(connection)
+        src, dst = endpoints
+        network.ni(src).submit_words(
+            handle.forward.src_connection,
+            list(range(word_count)),
+            label="a",
+        )
+        payloads = []
+        for _ in range(6000):
+            network.run(1)
+            payloads.extend(
+                w.payload
+                for w in network.ni(dst).receive(
+                    handle.forward.dst_queue
+                )
+            )
+            if len(payloads) >= word_count:
+                break
+        assert payloads == list(range(word_count))
+        assert network.total_dropped_words == 0
+        stats = network.stats.connections["a"]
+        assert stats.min_latency >= 3 * connection.forward.hops + 1
+
+    @settings(max_examples=12, deadline=None)
+    @given(aelite_scenarios())
+    def test_both_directions_coexist(self, scenario):
+        (
+            slot_table_size,
+            forward_slots,
+            word_count,
+            endpoints,
+            policy,
+        ) = scenario
+        topology = build_mesh(2, 2)
+        params = aelite_parameters(slot_table_size=slot_table_size)
+        allocator = SlotAllocator(
+            topology=topology, params=params, policy=policy
+        )
+        connection = allocator.allocate_connection(
+            ConnectionRequest(
+                "a",
+                endpoints[0],
+                endpoints[1],
+                forward_slots=forward_slots,
+            )
+        )
+        network = AeliteNetwork(topology, params)
+        handle = network.install_connection(connection)
+        src, dst = endpoints
+        network.ni(src).submit_words(
+            handle.forward.src_connection, [1, 2], label="fwd"
+        )
+        network.ni(dst).submit_words(
+            handle.reverse.src_connection, [3, 4], label="rev"
+        )
+        fwd, rev = [], []
+        for _ in range(6000):
+            network.run(1)
+            fwd.extend(
+                w.payload
+                for w in network.ni(dst).receive(
+                    handle.forward.dst_queue
+                )
+            )
+            rev.extend(
+                w.payload
+                for w in network.ni(src).receive(
+                    handle.reverse.dst_queue
+                )
+            )
+            if len(fwd) >= 2 and len(rev) >= 2:
+                break
+        assert fwd == [1, 2]
+        assert rev == [3, 4]

@@ -1,0 +1,144 @@
+"""Property: a buffer sized by the analytic bound sustains the full
+guaranteed rate — the buffer-sizing analysis is *sufficient*."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.analysis.buffers import (
+    credit_loop_cycles,
+    max_sustainable_rate,
+    required_buffer_words,
+)
+from repro.core import DaeliteNetwork
+from repro.errors import ParameterError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@st.composite
+def sizing_scenarios(draw):
+    slot_table_size = draw(st.sampled_from([8, 16]))
+    forward_slots = draw(st.integers(min_value=1, max_value=4))
+    reverse_slots = draw(st.integers(min_value=1, max_value=2))
+    endpoints = draw(
+        st.sampled_from(
+            [("NI00", "NI11"), ("NI00", "NI10"), ("NI01", "NI10")]
+        )
+    )
+    return slot_table_size, forward_slots, reverse_slots, endpoints
+
+
+def allocate(slot_table_size, forward_slots, reverse_slots, endpoints, buffer):
+    topology = build_mesh(2, 2)
+    params = daelite_parameters(
+        slot_table_size=slot_table_size, channel_buffer_words=buffer
+    )
+    allocator = SlotAllocator(
+        topology=topology, params=params, policy="spread"
+    )
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "c",
+            endpoints[0],
+            endpoints[1],
+            forward_slots=forward_slots,
+            reverse_slots=reverse_slots,
+        )
+    )
+    return topology, params, connection
+
+
+class TestBufferSizing:
+    @settings(max_examples=12, deadline=None)
+    @given(sizing_scenarios())
+    def test_bound_sustains_guaranteed_rate(self, scenario):
+        slot_table_size, forward_slots, reverse_slots, endpoints = (
+            scenario
+        )
+        # First pass: compute the bound with a placeholder buffer.
+        _, params0, connection0 = allocate(
+            slot_table_size, forward_slots, reverse_slots, endpoints, 8
+        )
+        bound = required_buffer_words(connection0, params0)
+        topology, params, connection = allocate(
+            slot_table_size,
+            forward_slots,
+            reverse_slots,
+            endpoints,
+            bound,
+        )
+        network = DaeliteNetwork(topology, params)
+        handle = network.configure(connection)
+        src, dst = endpoints
+        for payload in range(4000):
+            network.ni(src).submit(
+                handle.forward.src_channel, payload, "c"
+            )
+        warmup = 12 * params.wheel_cycles
+        for _ in range(warmup):
+            network.run(1)
+            network.ni(dst).receive(handle.forward.dst_channel)
+        start = network.stats.delivered_words("c")
+        window = 16 * params.wheel_cycles
+        for _ in range(window):
+            network.run(1)
+            network.ni(dst).receive(handle.forward.dst_channel)
+        measured = (
+            network.stats.delivered_words("c") - start
+        ) / window
+        guaranteed = forward_slots / slot_table_size
+        assert measured == pytest.approx(guaranteed, rel=0.03)
+
+    def test_bound_scales_with_rate(self):
+        _, params, small = allocate(16, 1, 1, ("NI00", "NI11"), 8)
+        _, _, large = allocate(16, 6, 1, ("NI00", "NI11"), 8)
+        assert required_buffer_words(
+            large, params
+        ) > required_buffer_words(small, params)
+
+    def test_loop_grows_with_sparse_reverse(self):
+        _, params, dense = allocate(16, 2, 2, ("NI00", "NI11"), 8)
+        _, _, sparse = allocate(16, 2, 1, ("NI00", "NI11"), 8)
+        assert credit_loop_cycles(sparse, params) > credit_loop_cycles(
+            dense, params
+        )
+
+    def test_counter_overflow_reported(self):
+        # A nearly-full wheel with one reverse slot needs more credits
+        # than 6 bits can hold.
+        _, params, connection = allocate(
+            32, 4, 1, ("NI00", "NI11"), 8
+        )
+        # Force an extreme case: widen forward slots artificially.
+        from repro.alloc.spec import AllocatedChannel, AllocatedConnection
+
+        fat = AllocatedConnection(
+            "fat",
+            AllocatedChannel(
+                "fat.fwd",
+                connection.forward.path,
+                frozenset(range(28)),
+                32,
+            ),
+            AllocatedChannel(
+                "fat.rev",
+                connection.reverse.path,
+                frozenset({0}),
+                32,
+            ),
+        )
+        with pytest.raises(ParameterError, match="credit counter"):
+            required_buffer_words(fat, params)
+
+    def test_max_sustainable_rate_clamps(self):
+        _, params, connection = allocate(16, 4, 1, ("NI00", "NI11"), 8)
+        allocated = 4 / 16
+        big = max_sustainable_rate(connection, params, 63)
+        tiny = max_sustainable_rate(connection, params, 2)
+        assert big == pytest.approx(allocated)
+        assert tiny < allocated
+        with pytest.raises(ParameterError):
+            max_sustainable_rate(connection, params, 0)

@@ -1,0 +1,87 @@
+"""Fuzzing the configuration decoder: garbage in, clean errors out.
+
+A corrupted word stream must either decode (if it happens to be
+well-formed) or raise :class:`~repro.errors.ProtocolError` — never any
+other exception — and a failed packet must not poison the decoding of
+the next one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConfigDecoder, SlotMask, build_path_packet, PathHop
+from repro.core.config_protocol import router_port_word
+from repro.errors import ProtocolError
+from repro.topology import ElementKind
+
+
+@st.composite
+def word_streams(draw):
+    """A random stream of 7-bit words and gaps (None)."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=127),
+                st.none(),
+            ),
+            max_size=40,
+        )
+    )
+
+
+def fresh_decoder(element_id=3, kind=ElementKind.ROUTER, size=8):
+    return ConfigDecoder(
+        element_id=element_id, kind=kind, slot_table_size=size
+    )
+
+
+class TestDecoderFuzz:
+    @settings(max_examples=200)
+    @given(word_streams(), st.sampled_from([ElementKind.ROUTER, ElementKind.NI]))
+    def test_only_protocol_errors_escape(self, stream, kind):
+        decoder = fresh_decoder(kind=kind)
+        for word in stream:
+            try:
+                decoder.feed(word)
+            except ProtocolError:
+                # A hard protocol error; restart the decoder like a
+                # reset would.
+                decoder = fresh_decoder(kind=kind)
+
+    @settings(max_examples=100)
+    @given(word_streams())
+    def test_valid_packet_decodes_after_garbage(self, stream):
+        """After arbitrary garbage (and a reset on hard errors), a
+        well-formed packet still decodes exactly."""
+        decoder = fresh_decoder()
+        for word in stream:
+            try:
+                decoder.feed(word)
+            except ProtocolError:
+                decoder = fresh_decoder()
+        # Terminate whatever packet the garbage started.
+        try:
+            decoder.feed(None)
+        except ProtocolError:
+            decoder = fresh_decoder()
+        packet = build_path_packet(
+            SlotMask.of(8, {2, 5}),
+            [PathHop(3, router_port_word(1, 2))],
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({2, 5})
+        assert action.output == 2
+
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0, max_value=127))
+    def test_single_word_then_gap_never_crashes(self, word):
+        decoder = fresh_decoder()
+        try:
+            decoder.feed(word)
+            decoder.feed(None)
+        except ProtocolError:
+            pass

@@ -1,0 +1,217 @@
+"""Property-based end-to-end tests on the cycle simulator.
+
+These are the heavyweight invariants of DESIGN.md: lossless in-order
+delivery, measured latency within the analytical worst case, guaranteed
+bandwidth under saturation, and credit conservation at arbitrary
+observation instants.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.analysis import (
+    guaranteed_bandwidth_words_per_cycle,
+    worst_case_latency_cycles,
+)
+from repro.core import DaeliteNetwork
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@st.composite
+def connection_scenarios(draw):
+    slot_table_size = draw(st.sampled_from([8, 16]))
+    forward_slots = draw(st.integers(min_value=1, max_value=3))
+    word_count = draw(st.integers(min_value=1, max_value=30))
+    endpoints = draw(
+        st.sampled_from(
+            [
+                ("NI00", "NI11"),
+                ("NI00", "NI10"),
+                ("NI10", "NI01"),
+                ("NI11", "NI00"),
+            ]
+        )
+    )
+    return slot_table_size, forward_slots, word_count, endpoints
+
+
+def build_network(slot_table_size, forward_slots, endpoints):
+    topology = build_mesh(2, 2)
+    params = daelite_parameters(slot_table_size=slot_table_size)
+    allocator = SlotAllocator(topology=topology, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "c",
+            endpoints[0],
+            endpoints[1],
+            forward_slots=forward_slots,
+            reverse_slots=1,
+        )
+    )
+    network = DaeliteNetwork(topology, params)
+    handle = network.configure(connection)
+    return network, params, connection, handle
+
+
+class TestEndToEndProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(connection_scenarios())
+    def test_lossless_in_order_delivery(self, scenario):
+        slot_table_size, forward_slots, word_count, endpoints = scenario
+        network, params, connection, handle = build_network(
+            slot_table_size, forward_slots, endpoints
+        )
+        src, dst = endpoints
+        network.ni(src).submit_words(
+            handle.forward.src_channel,
+            list(range(word_count)),
+            connection="c",
+        )
+        payloads = []
+        for _ in range(3000):
+            network.run(2)
+            payloads.extend(
+                word.payload
+                for word in network.ni(dst).receive(
+                    handle.forward.dst_channel
+                )
+            )
+            if len(payloads) >= word_count:
+                break
+        assert payloads == list(range(word_count))
+        assert network.total_dropped_words == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(connection_scenarios())
+    def test_latency_within_analytical_bound(self, scenario):
+        slot_table_size, forward_slots, word_count, endpoints = scenario
+        network, params, connection, handle = build_network(
+            slot_table_size, forward_slots, endpoints
+        )
+        src, dst = endpoints
+        bound = worst_case_latency_cycles(connection.forward, params)
+        network.ni(src).submit_words(
+            handle.forward.src_channel,
+            list(range(word_count)),
+            connection="c",
+        )
+        delivered = 0
+        for _ in range(4000):
+            network.run(1)
+            delivered += len(
+                network.ni(dst).receive(handle.forward.dst_channel)
+            )
+            if delivered >= word_count:
+                break
+        stats = network.stats.connections["c"]
+        # Stats latency runs from link injection; the bound additionally
+        # covers scheduling wait and the NI pipeline, so it dominates.
+        assert stats.max_latency is not None
+        assert stats.max_latency <= bound
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.sampled_from([8, 16]),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_saturated_bandwidth_matches_guarantee(
+        self, slot_table_size, forward_slots
+    ):
+        # The guarantee holds when the destination buffer covers the
+        # bandwidth-delay product of the credit loop; size it amply.
+        topology = build_mesh(2, 2)
+        params = daelite_parameters(
+            slot_table_size=slot_table_size, channel_buffer_words=48
+        )
+        allocator = SlotAllocator(topology=topology, params=params)
+        connection = allocator.allocate_connection(
+            ConnectionRequest(
+                "c",
+                "NI00",
+                "NI11",
+                forward_slots=forward_slots,
+                reverse_slots=1,
+            )
+        )
+        network = DaeliteNetwork(topology, params)
+        handle = network.configure(connection)
+        expected = guaranteed_bandwidth_words_per_cycle(
+            connection.forward, params
+        )
+        # Saturate: always words available, sink always drains.
+        src_ni = network.ni("NI00")
+        for payload in range(4000):
+            src_ni.submit(
+                handle.forward.src_channel, payload, connection="c"
+            )
+        warmup = 4 * params.wheel_cycles
+        network.run(warmup)
+        network.ni("NI11").receive(handle.forward.dst_channel)
+        start_delivered = network.stats.delivered_words("c")
+        window = 20 * params.wheel_cycles
+        for _ in range(window):
+            network.run(1)
+            network.ni("NI11").receive(handle.forward.dst_channel)
+        delivered = network.stats.delivered_words("c") - start_delivered
+        measured = delivered / window
+        assert measured * params.words_per_slot == (
+            __import__("pytest").approx(
+                expected * params.words_per_slot, rel=0.10
+            )
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_credit_conservation_at_any_instant(
+        self, observation_cycle, forward_slots
+    ):
+        """Safety at every instant: credits are never over-committed
+        (source credits + words buffered/in flight + unreturned credits
+        never exceed the buffer capacity).  Liveness at quiescence: once
+        traffic drains and the credit loop flushes, the source recovers
+        exactly its full credit allowance."""
+        network, params, connection, handle = build_network(
+            8, forward_slots, ("NI00", "NI11")
+        )
+        src_ni = network.ni("NI00")
+        dst_ni = network.ni("NI11")
+        word_count = 40
+        for payload in range(word_count):
+            src_ni.submit(
+                handle.forward.src_channel, payload, connection="c"
+            )
+        source = src_ni.source_channel(handle.forward.src_channel)
+        dest = dst_ni.dest_channel(handle.forward.dst_channel)
+        capacity = params.channel_buffer_words
+        for cycle in range(observation_cycle):
+            network.run(1)
+            if cycle % 3 == 0:
+                dst_ni.receive(handle.forward.dst_channel)
+            stats = network.stats.connections.get("c")
+            flying = stats.in_flight if stats else 0
+            accounted = (
+                source.credit_counter
+                + len(dest.queue)
+                + dest.pending_credits
+                + flying
+            )
+            assert accounted <= capacity
+        # Drain to quiescence: everything delivered, every credit home.
+        for _ in range(1000):
+            network.run(2)
+            dst_ni.receive(handle.forward.dst_channel)
+            if (
+                network.stats.delivered_words("c") == word_count
+                and source.credit_counter == capacity
+            ):
+                break
+        assert network.stats.delivered_words("c") == word_count
+        assert source.credit_counter == capacity
+        assert dest.pending_credits == 0
+        assert len(dest.queue) == 0

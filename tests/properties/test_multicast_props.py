@@ -1,0 +1,116 @@
+"""Property-based tests for multicast (byte-identity invariant #7)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import MulticastRequest, SlotAllocator, validate_schedule
+from repro.core import DaeliteNetwork
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@st.composite
+def multicast_scenarios(draw):
+    size = draw(st.sampled_from([8, 16]))
+    slots = draw(st.integers(min_value=1, max_value=3))
+    word_count = draw(st.integers(min_value=1, max_value=25))
+    all_nis = [
+        f"NI{x}{y}" for x in range(3) for y in range(3)
+    ]
+    src_index = draw(st.integers(min_value=0, max_value=8))
+    src = all_nis[src_index]
+    others = [ni for ni in all_nis if ni != src]
+    dst_count = draw(st.integers(min_value=1, max_value=4))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(others) - 1),
+            min_size=dst_count,
+            max_size=dst_count,
+            unique=True,
+        )
+    )
+    dsts = tuple(others[i] for i in indices)
+    return size, slots, word_count, src, dsts
+
+
+class TestMulticastProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(multicast_scenarios())
+    def test_every_destination_gets_identical_stream(self, scenario):
+        size, slots, word_count, src, dsts = scenario
+        topology = build_mesh(3, 3)
+        params = daelite_parameters(slot_table_size=size)
+        allocator = SlotAllocator(topology=topology, params=params)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", src, dsts, slots=slots)
+        )
+        validate_schedule(topology, [tree])
+        network = DaeliteNetwork(topology, params, host_ni="NI11")
+        handle = network.configure_multicast(tree)
+        payloads = list(range(word_count))
+        network.ni(src).submit_words(handle.src_channel, payloads, "m")
+        received = {dst: [] for dst in dsts}
+        for _ in range(4000):
+            network.run(1)
+            for dst in dsts:
+                received[dst].extend(
+                    w.payload
+                    for w in network.ni(dst).receive(
+                        handle.dst_channels[dst]
+                    )
+                )
+            if all(
+                len(stream) >= word_count
+                for stream in received.values()
+            ):
+                break
+        for dst in dsts:
+            assert received[dst] == payloads
+        assert network.total_dropped_words == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(multicast_scenarios())
+    def test_source_link_pays_once(self, scenario):
+        size, slots, word_count, src, dsts = scenario
+        topology = build_mesh(3, 3)
+        params = daelite_parameters(slot_table_size=size)
+        allocator = SlotAllocator(topology=topology, params=params)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", src, dsts, slots=slots)
+        )
+        network = DaeliteNetwork(topology, params, host_ni="NI11")
+        handle = network.configure_multicast(tree)
+        network.ni(src).submit_words(
+            handle.src_channel, list(range(word_count)), "m"
+        )
+        delivered = 0
+        for _ in range(4000):
+            network.run(1)
+            for dst in dsts:
+                delivered += len(
+                    network.ni(dst).receive(handle.dst_channels[dst])
+                )
+            if delivered >= word_count * len(dsts):
+                break
+        router = topology.ni_router(src)
+        source_link = network.link(src, router)
+        assert source_link.words_carried == word_count
+
+    @settings(max_examples=20, deadline=None)
+    @given(multicast_scenarios())
+    def test_teardown_restores_clean_tables(self, scenario):
+        size, slots, word_count, src, dsts = scenario
+        topology = build_mesh(3, 3)
+        params = daelite_parameters(slot_table_size=size)
+        allocator = SlotAllocator(topology=topology, params=params)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", src, dsts, slots=slots)
+        )
+        network = DaeliteNetwork(topology, params, host_ni="NI11")
+        handle = network.configure_multicast(tree)
+        teardown = network.host.teardown_multicast(handle)
+        network.run_until_configured(teardown)
+        for router in network.routers.values():
+            for slot in range(size):
+                assert router.slot_table.inputs_for_slot(slot) == {}

@@ -1,0 +1,112 @@
+"""Property-based tests for the pipelined-link extension."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.ext import PipelinedDaeliteNetwork
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+@st.composite
+def delay_scenarios(draw):
+    size = draw(st.sampled_from([8, 16]))
+    # Random delays on the two router-router links of a 3x1 line.
+    delay_a = draw(st.integers(min_value=0, max_value=3))
+    delay_b = draw(st.integers(min_value=0, max_value=3))
+    slots = draw(st.integers(min_value=1, max_value=2))
+    words = draw(st.integers(min_value=1, max_value=20))
+    return size, delay_a, delay_b, slots, words
+
+
+class TestPipelinedProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(delay_scenarios())
+    def test_latency_formula_holds_for_random_delays(self, scenario):
+        size, delay_a, delay_b, slots, words = scenario
+        topology = build_mesh(3, 1)
+        params = daelite_parameters(slot_table_size=size)
+        link_extra = {}
+        if delay_a:
+            link_extra[("R00", "R10")] = delay_a
+            link_extra[("R10", "R00")] = delay_a
+        if delay_b:
+            link_extra[("R10", "R20")] = delay_b
+            link_extra[("R20", "R10")] = delay_b
+        network = PipelinedDaeliteNetwork(
+            topology,
+            params,
+            host_ni="NI00",
+            link_extra_slots=link_extra,
+        )
+        allocator = SlotAllocator(topology=topology, params=params)
+        connection = network.allocate_connection(
+            allocator,
+            ConnectionRequest(
+                "c", "NI00", "NI20", forward_slots=slots
+            ),
+        )
+        handle = network.configure_pipelined(connection)
+        network.ni("NI00").submit_words(
+            handle.forward.src_channel, list(range(words)), "c"
+        )
+        received = []
+        for _ in range(6000):
+            network.run(1)
+            received.extend(
+                w.payload
+                for w in network.ni("NI20").receive(
+                    handle.forward.dst_channel
+                )
+            )
+            if len(received) >= words:
+                break
+        assert received == list(range(words))
+        stats = network.stats.connections["c"]
+        hops = connection.forward.hops
+        extra_cycles = (delay_a + delay_b) * params.words_per_slot
+        assert stats.min_latency == 2 * hops + 1 + extra_cycles
+        assert network.total_dropped_words == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(delay_scenarios())
+    def test_claims_stay_contention_free(self, scenario):
+        size, delay_a, delay_b, slots, words = scenario
+        topology = build_mesh(3, 1)
+        params = daelite_parameters(slot_table_size=size)
+        link_extra = {
+            ("R00", "R10"): delay_a,
+            ("R10", "R00"): delay_a,
+            ("R10", "R20"): delay_b,
+            ("R20", "R10"): delay_b,
+        }
+        network = PipelinedDaeliteNetwork(
+            topology,
+            params,
+            host_ni="NI00",
+            link_extra_slots=link_extra,
+        )
+        allocator = SlotAllocator(topology=topology, params=params)
+        allocations = []
+        from repro.errors import AllocationError
+
+        for index in range(3):
+            try:
+                allocations.append(
+                    network.allocate_connection(
+                        allocator,
+                        ConnectionRequest(
+                            f"c{index}",
+                            "NI00",
+                            "NI20",
+                            forward_slots=slots,
+                        ),
+                    )
+                )
+            except AllocationError:
+                break
+        from repro.alloc import validate_schedule
+
+        validate_schedule(topology, allocations)

@@ -1,0 +1,155 @@
+"""Property-based tests: config packets decode to exactly their intent.
+
+For arbitrary paths and slot sets, every element along the path must
+recover precisely its own slot-table writes — the rotating-mask encoding
+is lossless and hop-exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ConfigDecoder,
+    Direction,
+    NiPathAction,
+    PathHop,
+    RouterPathAction,
+    SlotMask,
+    build_path_packet,
+    ni_channel_word,
+    router_port_word,
+)
+from repro.topology import ElementKind
+
+
+@st.composite
+def path_scenarios(draw):
+    """A random path: element ids, router port pairs, arrival mask."""
+    size = draw(st.sampled_from([4, 8, 16, 32]))
+    slots = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=size - 1),
+            min_size=1,
+            max_size=min(size, 6),
+        )
+    )
+    hops = draw(st.integers(min_value=0, max_value=6))
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=63),
+            min_size=hops + 2,
+            max_size=hops + 2,
+            unique=True,
+        )
+    )
+    ports = [
+        (
+            draw(st.integers(min_value=0, max_value=6)),
+            draw(st.integers(min_value=0, max_value=6)),
+        )
+        for _ in range(hops)
+    ]
+    src_channel = draw(st.integers(min_value=0, max_value=63))
+    dst_channel = draw(st.integers(min_value=0, max_value=63))
+    return size, frozenset(slots), ids, ports, src_channel, dst_channel
+
+
+def build(scenario, teardown=False):
+    size, slots, ids, ports, src_channel, dst_channel = scenario
+    # ids are ordered source-first: [src_ni, routers..., dst_ni].
+    hops = [PathHop(ids[-1], ni_channel_word(Direction.ARRIVE, dst_channel))]
+    for index in range(len(ports) - 1, -1, -1):
+        hops.append(
+            PathHop(ids[1 + index], router_port_word(*ports[index]))
+        )
+    hops.append(PathHop(ids[0], ni_channel_word(Direction.INJECT, src_channel)))
+    arrival_slots = frozenset(
+        (slot + len(ids) - 1) % size for slot in slots
+    )
+    return build_path_packet(
+        SlotMask.of(size, arrival_slots), hops, teardown=teardown
+    )
+
+
+def decode_at(packet, element_id, kind, size):
+    decoder = ConfigDecoder(
+        element_id=element_id, kind=kind, slot_table_size=size
+    )
+    for word in packet.words:
+        decoder.feed(word)
+    return decoder.feed(None)
+
+
+class TestPathPacketProperties:
+    @settings(max_examples=60)
+    @given(path_scenarios())
+    def test_every_element_recovers_its_slots(self, scenario):
+        size, slots, ids, ports, src_channel, dst_channel = scenario
+        packet = build(scenario)
+        for position, element_id in enumerate(ids):
+            expected_slots = frozenset(
+                (slot + position) % size for slot in slots
+            )
+            kind = (
+                ElementKind.NI
+                if position in (0, len(ids) - 1)
+                else ElementKind.ROUTER
+            )
+            actions = decode_at(packet, element_id, kind, size)
+            assert len(actions) == 1
+            assert actions[0].mask.slots == expected_slots
+
+    @settings(max_examples=40)
+    @given(path_scenarios())
+    def test_router_ports_recovered_exactly(self, scenario):
+        size, slots, ids, ports, src_channel, dst_channel = scenario
+        packet = build(scenario)
+        for index, (input_port, output_port) in enumerate(ports):
+            actions = decode_at(
+                packet, ids[1 + index], ElementKind.ROUTER, size
+            )
+            (action,) = actions
+            assert isinstance(action, RouterPathAction)
+            assert action.input_port == input_port
+            assert action.output == output_port
+
+    @settings(max_examples=40)
+    @given(path_scenarios())
+    def test_ni_channels_recovered(self, scenario):
+        size, slots, ids, ports, src_channel, dst_channel = scenario
+        packet = build(scenario)
+        (src_action,) = decode_at(packet, ids[0], ElementKind.NI, size)
+        (dst_action,) = decode_at(packet, ids[-1], ElementKind.NI, size)
+        assert isinstance(src_action, NiPathAction)
+        assert src_action.direction is Direction.INJECT
+        assert src_action.channel == src_channel
+        assert dst_action.direction is Direction.ARRIVE
+        assert dst_action.channel == dst_channel
+
+    @settings(max_examples=40)
+    @given(path_scenarios())
+    def test_unaddressed_elements_silent(self, scenario):
+        size, slots, ids, ports, src_channel, dst_channel = scenario
+        packet = build(scenario)
+        stranger = next(
+            candidate
+            for candidate in range(64)
+            if candidate not in ids
+        )
+        for kind in (ElementKind.ROUTER, ElementKind.NI):
+            assert decode_at(packet, stranger, kind, size) == []
+
+    @settings(max_examples=30)
+    @given(path_scenarios())
+    def test_teardown_mirrors_setup(self, scenario):
+        size, slots, ids, ports, src_channel, dst_channel = scenario
+        packet = build(scenario, teardown=True)
+        for position, element_id in enumerate(ids):
+            kind = (
+                ElementKind.NI
+                if position in (0, len(ids) - 1)
+                else ElementKind.ROUTER
+            )
+            (action,) = decode_at(packet, element_id, kind, size)
+            assert action.teardown

@@ -1,0 +1,54 @@
+"""Property-based tests for the rotating slot mask."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core import SlotMask
+
+
+@st.composite
+def masks(draw):
+    size = draw(st.integers(min_value=1, max_value=64))
+    slots = draw(
+        st.sets(st.integers(min_value=0, max_value=size - 1), max_size=size)
+    )
+    return SlotMask.of(size, slots)
+
+
+class TestMaskProperties:
+    @given(masks(), st.integers(min_value=3, max_value=10))
+    def test_word_serialization_roundtrip(self, mask, word_bits):
+        words = mask.to_words(word_bits)
+        assert SlotMask.from_words(mask.size, words, word_bits) == mask
+
+    @given(masks())
+    def test_bits_roundtrip(self, mask):
+        assert SlotMask.from_bits(mask.size, mask.to_bits()) == mask
+
+    @given(masks())
+    def test_full_rotation_is_identity(self, mask):
+        assert mask.rotate(mask.size) == mask
+
+    @given(masks(), st.integers(min_value=0, max_value=128))
+    def test_rotation_preserves_cardinality(self, mask, positions):
+        assert len(mask.rotate(positions)) == len(mask)
+
+    @given(masks(), st.integers(min_value=0, max_value=16))
+    def test_rotation_composes(self, mask, positions):
+        step_by_step = mask
+        for _ in range(positions):
+            step_by_step = step_by_step.rotate()
+        assert step_by_step == mask.rotate(positions)
+
+    @given(masks())
+    def test_rotation_moves_each_slot_back_one(self, mask):
+        rotated = mask.rotate()
+        assert rotated.slots == {
+            (slot - 1) % mask.size for slot in mask.slots
+        }
+
+    @given(masks(), st.integers(min_value=3, max_value=10))
+    def test_word_values_fit_width(self, mask, word_bits):
+        for word in mask.to_words(word_bits):
+            assert 0 <= word < (1 << word_bits)

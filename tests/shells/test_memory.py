@@ -1,0 +1,45 @@
+"""Unit tests for the memory slave."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.shells import MemorySlave
+
+
+class TestMemorySlave:
+    def test_write_then_read(self):
+        memory = MemorySlave(base=0x1000, size_bytes=0x100)
+        memory.write(0x1000, [1, 2, 3])
+        assert memory.read(0x1000, 3) == [1, 2, 3]
+
+    def test_unwritten_reads_zero(self):
+        memory = MemorySlave()
+        assert memory.read(0, 2) == [0, 0]
+
+    def test_unaligned_rejected(self):
+        memory = MemorySlave()
+        with pytest.raises(TrafficError, match="unaligned"):
+            memory.write(2, [1])
+
+    def test_window_enforced(self):
+        memory = MemorySlave(base=0x1000, size_bytes=16)
+        with pytest.raises(TrafficError, match="outside"):
+            memory.read(0x0FFC, 1)
+        with pytest.raises(TrafficError, match="outside"):
+            memory.write(0x100C, [1, 2])  # burst crosses the top
+
+    def test_counters(self):
+        memory = MemorySlave()
+        memory.write(0, [1])
+        memory.read(0, 1)
+        memory.read(4, 1)
+        assert memory.writes_served == 1
+        assert memory.reads_served == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(TrafficError):
+            MemorySlave(base=-1)
+        with pytest.raises(TrafficError):
+            MemorySlave(size_bytes=0)

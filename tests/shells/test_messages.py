@@ -1,0 +1,86 @@
+"""Unit tests for transaction message encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.shells import (
+    Transaction,
+    TransactionKind,
+    decode_command,
+    decode_response_header,
+    encode_request,
+    encode_response,
+)
+
+
+class TestTransaction:
+    def test_write_requires_data(self):
+        with pytest.raises(TrafficError):
+            Transaction(TransactionKind.WRITE, address=0)
+
+    def test_read_rejects_data(self):
+        with pytest.raises(TrafficError):
+            Transaction(
+                TransactionKind.READ, address=0, data=(1,), length=1
+            )
+
+    def test_read_length_bounds(self):
+        with pytest.raises(TrafficError):
+            Transaction(TransactionKind.READ, address=0, length=0)
+        with pytest.raises(TrafficError):
+            Transaction(TransactionKind.READ, address=0, length=65)
+
+    def test_burst_length(self):
+        write = Transaction(
+            TransactionKind.WRITE, address=0, data=(1, 2, 3)
+        )
+        read = Transaction(TransactionKind.READ, address=0, length=5)
+        assert write.burst_length == 3
+        assert read.burst_length == 5
+
+    def test_negative_address(self):
+        with pytest.raises(TrafficError):
+            Transaction(TransactionKind.WRITE, address=-4, data=(1,))
+
+    def test_tag_range(self):
+        with pytest.raises(TrafficError):
+            Transaction(
+                TransactionKind.READ, address=0, length=1, tag=256
+            )
+
+
+class TestEncoding:
+    def test_write_request_roundtrip(self):
+        transaction = Transaction(
+            TransactionKind.WRITE, address=0x100, data=(7, 8)
+        )
+        words = encode_request(transaction)
+        kind, length, tag = decode_command(words[0])
+        assert kind is TransactionKind.WRITE
+        assert length == 2
+        assert words[1] == 0x100
+        assert words[2:] == [7, 8]
+
+    def test_read_request_roundtrip(self):
+        transaction = Transaction(
+            TransactionKind.READ, address=0x40, length=4, tag=9
+        )
+        words = encode_request(transaction)
+        kind, length, tag = decode_command(words[0])
+        assert kind is TransactionKind.READ
+        assert (length, tag) == (4, 9)
+        assert len(words) == 2  # no data words
+
+    def test_response_roundtrip(self):
+        words = encode_response(tag=5, data=[10, 20, 30])
+        length, tag = decode_response_header(words[0])
+        assert (length, tag) == (3, 5)
+        assert words[1:] == [10, 20, 30]
+
+    def test_response_validation(self):
+        with pytest.raises(TrafficError):
+            encode_response(tag=300, data=[])
+        with pytest.raises(TrafficError):
+            encode_response(tag=0, data=[0] * 65)

@@ -1,0 +1,83 @@
+"""Unit tests for data and configuration links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import IDLE_PHIT, Kernel, Link, NarrowLink, Phit, Word
+
+
+class TestLink:
+    def test_one_cycle_delay(self):
+        kernel = Kernel()
+        link = Link("a->b")
+        kernel.add_register(link.register)
+        word = Word(payload=5)
+        link.send_word(word)
+        assert link.incoming.is_idle
+        kernel.step(1)
+        assert link.incoming.word == word
+
+    def test_idle_after_value_passes(self):
+        kernel = Kernel()
+        link = Link("a->b")
+        kernel.add_register(link.register)
+        link.send_word(Word(payload=1))
+        kernel.step(2)
+        assert link.incoming.is_idle
+
+    def test_counts_words_and_phits(self):
+        link = Link("a->b")
+        link.send_word(Word(payload=1))
+        link.register.latch()
+        link.send(Phit(credit_bits=3))
+        link.register.latch()
+        assert link.words_carried == 1
+        assert link.phits_carried == 2
+
+    def test_double_send_collides(self):
+        link = Link("a->b")
+        link.send_word(Word(payload=1))
+        with pytest.raises(SimulationError):
+            link.send_word(Word(payload=2))
+
+    def test_idle_phit_not_counted(self):
+        link = Link("a->b")
+        link.send(IDLE_PHIT)
+        assert link.phits_carried == 0
+
+
+class TestNarrowLink:
+    def test_width_enforced(self):
+        link = NarrowLink("cfg", width_bits=7)
+        with pytest.raises(SimulationError, match="exceeds"):
+            link.send(1 << 7)
+
+    def test_in_range_word_passes(self):
+        kernel = Kernel()
+        link = NarrowLink("cfg", width_bits=7)
+        kernel.add_register(link.register)
+        link.send(0x55)
+        kernel.step(1)
+        assert link.incoming == 0x55
+
+    def test_idle_is_none(self):
+        link = NarrowLink("cfg")
+        assert link.incoming is None
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(SimulationError):
+            NarrowLink("cfg", width_bits=0)
+
+
+class TestPhit:
+    def test_idle_detection(self):
+        assert Phit().is_idle
+        assert not Phit(word=Word(payload=0)).is_idle
+        assert not Phit(credit_bits=1).is_idle
+
+    def test_word_repr_compact(self):
+        word = Word(payload=0xAB, connection="c", sequence=3)
+        assert "0xab" in repr(word)
+        assert "seq=3" in repr(word)

@@ -1,0 +1,86 @@
+"""Unit tests for the statistics collector's delivery invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import StatsCollector, Word
+
+
+def w(seq, conn="c"):
+    return Word(payload=seq, connection=conn, sequence=seq)
+
+
+class TestStatsCollector:
+    def test_latency_recorded(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), cycle=10)
+        stats.record_ejection(w(0), cycle=17, destination="NI1")
+        assert stats.latency("c", 0) == 7
+
+    def test_double_injection_rejected(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 1)
+        with pytest.raises(SimulationError, match="injected twice"):
+            stats.record_injection(w(0), 2)
+
+    def test_ejection_without_injection_rejected(self):
+        stats = StatsCollector()
+        with pytest.raises(SimulationError, match="never injected"):
+            stats.record_ejection(w(0), 5, destination="NI1")
+
+    def test_out_of_order_delivery_rejected(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_injection(w(1), 1)
+        stats.record_ejection(w(1), 8, destination="NI1")
+        with pytest.raises(SimulationError, match="out-of-order"):
+            stats.record_ejection(w(0), 9, destination="NI1")
+
+    def test_multicast_counts_each_destination(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_ejection(w(0), 7, destination="NI1")
+        stats.record_ejection(w(0), 9, destination="NI2")
+        assert stats.delivered_words("c") == 2
+        assert stats.connections["c"].latencies == [7, 9]
+
+    def test_undelivered_tracking(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_injection(w(1), 2)
+        stats.record_ejection(w(0), 7, destination="NI1")
+        assert stats.undelivered() == [("c", 1)]
+
+    def test_connection_aggregates(self):
+        stats = StatsCollector()
+        for seq in range(3):
+            stats.record_injection(w(seq), seq)
+            stats.record_ejection(w(seq), seq + 5 + seq, destination="d")
+        info = stats.connections["c"]
+        assert info.injected == 3
+        assert info.ejected == 3
+        assert info.in_flight == 0
+        assert info.min_latency == 5
+        assert info.max_latency == 7
+        assert info.mean_latency == pytest.approx(6.0)
+
+    def test_throughput(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_ejection(w(0), 4, destination="d")
+        assert stats.throughput_words_per_cycle("c", 8) == pytest.approx(
+            0.125
+        )
+
+    def test_throughput_requires_window(self):
+        stats = StatsCollector()
+        with pytest.raises(SimulationError):
+            stats.throughput_words_per_cycle("c", 0)
+
+    def test_empty_connection_defaults(self):
+        stats = StatsCollector()
+        assert stats.delivered_words("missing") == 0
+        assert stats.injected_words("missing") == 0
+        assert stats.latency("missing", 0) is None

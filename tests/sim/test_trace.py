@@ -1,0 +1,45 @@
+"""Unit tests for the tracer."""
+
+from __future__ import annotations
+
+from repro.sim import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_events(self):
+        tracer = Tracer()
+        tracer.emit(5, "R00", "route", "slot 3 in0->out1")
+        assert len(tracer.events) == 1
+        assert tracer.events[0].cycle == 5
+
+    def test_category_filtering_at_emit(self):
+        tracer = Tracer(categories=["route"])
+        tracer.emit(1, "R00", "route", "kept")
+        tracer.emit(2, "R00", "config", "dropped")
+        assert [event.category for event in tracer.events] == ["route"]
+
+    def test_filter_query(self):
+        tracer = Tracer()
+        tracer.emit(1, "R00", "route", "a")
+        tracer.emit(2, "R01", "route", "b")
+        tracer.emit(3, "R00", "config", "c")
+        assert len(tracer.filter(component="R00")) == 2
+        assert len(tracer.filter(category="route")) == 2
+        assert len(tracer.filter(component="R00", category="route")) == 1
+
+    def test_format_and_clear(self):
+        tracer = Tracer()
+        tracer.emit(1, "NI00", "inject", "word 0")
+        text = tracer.format()
+        assert "NI00" in text and "word 0" in text
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_null_tracer_drops_everything(self):
+        NULL_TRACER.emit(1, "x", "y", "z")
+        assert NULL_TRACER.events == []
+        assert not NULL_TRACER.enabled
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled

@@ -1,0 +1,107 @@
+"""Unit tests for network parameters and their derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import (
+    AELITE_HOP_CYCLES,
+    DAELITE_HOP_CYCLES,
+    NetworkParameters,
+    aelite_parameters,
+    daelite_parameters,
+)
+
+
+class TestDefaults:
+    def test_daelite_defaults_match_paper(self):
+        params = daelite_parameters()
+        assert params.words_per_slot == 2
+        assert params.hop_cycles == DAELITE_HOP_CYCLES == 2
+        assert params.config_word_bits == 7
+        assert params.credit_counter_bits == 6
+        assert params.credit_wire_bits == 3
+        assert params.frequency_mhz == 925.0
+
+    def test_aelite_defaults_match_paper(self):
+        params = aelite_parameters()
+        assert params.words_per_slot == 3
+        assert params.hop_cycles == AELITE_HOP_CYCLES == 3
+        assert params.frequency_mhz == 885.0
+
+    def test_overrides(self):
+        params = daelite_parameters(slot_table_size=32)
+        assert params.slot_table_size == 32
+        assert params.words_per_slot == 2  # untouched
+
+
+class TestDerived:
+    def test_wheel_cycles(self):
+        params = daelite_parameters(slot_table_size=16)
+        assert params.wheel_cycles == 32
+
+    def test_max_network_elements(self):
+        assert daelite_parameters().max_network_elements == 64
+        assert (
+            daelite_parameters(config_word_bits=8).max_network_elements
+            == 128
+        )
+
+    def test_max_credit_value(self):
+        assert daelite_parameters().max_credit_value == 63
+
+    def test_credit_bits_per_slot(self):
+        """'3 wires dedicated to sending credit data are enough to send
+        the value of a 6-bit credit counter during each slot cycle.'"""
+        params = daelite_parameters()
+        assert params.credit_bits_per_slot == 6
+        assert params.credit_bits_per_slot >= params.credit_counter_bits
+
+    def test_slot_of_cycle(self):
+        params = daelite_parameters(slot_table_size=4)
+        assert [params.slot_of_cycle(c) for c in range(10)] == [
+            0, 0, 1, 1, 2, 2, 3, 3, 0, 0,
+        ]
+
+    def test_lagged_slot(self):
+        params = daelite_parameters(slot_table_size=4)
+        assert params.lagged_slot_of_cycle(1) == 0
+        assert params.lagged_slot_of_cycle(2) == 0
+        assert params.lagged_slot_of_cycle(3) == 1
+
+    def test_slot_start_cycle(self):
+        params = daelite_parameters(slot_table_size=4)
+        assert params.slot_start_cycle(2) == 4
+        assert params.slot_start_cycle(1, revolution=3) == 26
+
+    def test_with_changes_is_pure(self):
+        base = daelite_parameters()
+        derived = base.with_changes(slot_table_size=64)
+        assert base.slot_table_size == 16
+        assert derived.slot_table_size == 64
+
+
+class TestValidation:
+    def test_ranges_enforced(self):
+        with pytest.raises(ParameterError):
+            NetworkParameters(slot_table_size=0)
+        with pytest.raises(ParameterError):
+            NetworkParameters(words_per_slot=0)
+        with pytest.raises(ParameterError):
+            NetworkParameters(config_word_bits=2)
+        with pytest.raises(ParameterError):
+            NetworkParameters(credit_counter_bits=0)
+        with pytest.raises(ParameterError):
+            NetworkParameters(cooldown_cycles=-1)
+        with pytest.raises(ParameterError):
+            NetworkParameters(hop_cycles=0)
+
+    def test_buffer_must_fit_counter(self):
+        with pytest.raises(ParameterError, match="representable"):
+            NetworkParameters(
+                channel_buffer_words=64, credit_counter_bits=6
+            )
+        NetworkParameters(
+            channel_buffer_words=63, credit_counter_bits=6
+        )

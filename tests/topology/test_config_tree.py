@@ -1,0 +1,102 @@
+"""Unit tests for configuration broadcast tree construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    CONFIG_HOP_CYCLES,
+    build_config_tree,
+    build_mesh,
+    build_ring,
+)
+
+
+class TestBuildConfigTree:
+    def test_bfs_depths_are_shortest_distances(self):
+        mesh = build_mesh(3, 3)
+        tree = build_config_tree(mesh, "NI00")
+        # NI00 -> R00 -> R10 -> R20 -> NI20: depth 4.
+        assert tree.depth["NI00"] == 0
+        assert tree.depth["R00"] == 1
+        assert tree.depth["NI20"] == 4
+        for name in mesh.elements:
+            distance = len(mesh.shortest_path("NI00", name)) - 1
+            assert tree.depth[name] == distance
+
+    def test_every_element_reached(self):
+        mesh = build_mesh(4, 4)
+        tree = build_config_tree(mesh, "NI11")
+        assert set(tree.parent) == set(mesh.elements)
+
+    def test_parent_child_consistency(self):
+        mesh = build_mesh(3, 3)
+        tree = build_config_tree(mesh, "NI00")
+        for node, parent in tree.parent.items():
+            if parent is None:
+                assert node == "NI00"
+            else:
+                assert node in tree.children[parent]
+
+    def test_nodes_in_bfs_order(self):
+        mesh = build_mesh(2, 2)
+        tree = build_config_tree(mesh, "NI00")
+        order = tree.nodes
+        assert order[0] == "NI00"
+        depths = [tree.depth[name] for name in order]
+        assert depths == sorted(depths)
+
+    def test_unknown_host_rejected(self):
+        mesh = build_mesh(2, 2)
+        with pytest.raises(TopologyError):
+            build_config_tree(mesh, "NI99")
+
+    def test_disconnected_rejected(self):
+        mesh = build_mesh(2, 2)
+        mesh.add_router("island")
+        with pytest.raises(TopologyError, match="cannot reach"):
+            build_config_tree(mesh, "NI00")
+
+
+class TestTreeProperties:
+    def test_latencies(self):
+        mesh = build_mesh(3, 3)
+        tree = build_config_tree(mesh, "NI00")
+        assert tree.forward_latency("NI00") == 0
+        assert tree.forward_latency("R00") == CONFIG_HOP_CYCLES
+        assert tree.round_trip_latency("R00") == 2 * CONFIG_HOP_CYCLES
+        assert tree.broadcast_latency == CONFIG_HOP_CYCLES * (
+            tree.max_depth
+        )
+
+    def test_latency_unknown_element(self):
+        mesh = build_mesh(2, 2)
+        tree = build_config_tree(mesh, "NI00")
+        with pytest.raises(TopologyError):
+            tree.forward_latency("nope")
+
+    def test_path_from_root(self):
+        mesh = build_mesh(2, 2)
+        tree = build_config_tree(mesh, "NI00")
+        path = tree.path_from_root("NI11")
+        assert path[0] == "NI00"
+        assert path[-1] == "NI11"
+        for a, b in zip(path, path[1:]):
+            assert tree.parent[b] == a
+
+    def test_central_host_shrinks_depth(self):
+        mesh = build_mesh(5, 5)
+        corner = build_config_tree(mesh, "NI00")
+        center = build_config_tree(mesh, "NI22")
+        assert center.max_depth < corner.max_depth
+
+    def test_max_fanout_parameterizable_neighbors(self):
+        mesh = build_mesh(3, 3)
+        tree = build_config_tree(mesh, "NI11")
+        assert 1 <= tree.max_fanout() <= 5
+
+    def test_ring_tree(self):
+        ring = build_ring(8)
+        tree = build_config_tree(ring, "NI0")
+        assert tree.max_depth == 1 + 4 + 1  # NI0->R0, 4 hops, last NI

@@ -1,0 +1,77 @@
+"""Unit tests for workload builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.params import daelite_parameters
+from repro.traffic import (
+    CacheMissTraffic,
+    SyncBroadcast,
+    VideoStream,
+    random_traffic_pattern,
+)
+
+
+@pytest.fixture
+def params():
+    return daelite_parameters(slot_table_size=16)
+
+
+class TestVideoStream:
+    def test_slots_rounded_up(self, params):
+        stream = VideoStream("v", "NI00", "NI11", bandwidth_fraction=0.2)
+        request = stream.connection_request(params)
+        assert request.forward_slots == 4  # ceil(0.2 * 16)
+
+    def test_minimum_one_slot(self, params):
+        stream = VideoStream("v", "NI00", "NI11", bandwidth_fraction=0.01)
+        assert stream.connection_request(params).forward_slots == 1
+
+    def test_generator_period_matches_bandwidth(self, params):
+        stream = VideoStream("v", "NI00", "NI11", bandwidth_fraction=0.25)
+        period = stream.generator_period(params)
+        # 0.25 of a link = 8 words per 32-cycle wheel = every 4 cycles.
+        assert period == 4
+
+    def test_zero_bandwidth_rejected(self, params):
+        stream = VideoStream("v", "NI00", "NI11", bandwidth_fraction=0.0)
+        with pytest.raises(TrafficError):
+            stream.connection_request(params)
+
+
+class TestCacheAndBroadcast:
+    def test_cache_request_shape(self):
+        traffic = CacheMissTraffic("cache", "NI00", "NI11")
+        request = traffic.connection_request()
+        assert request.reverse_slots > request.forward_slots
+
+    def test_broadcast_request(self):
+        workload = SyncBroadcast("sync", "NI00", ("NI10", "NI11"))
+        request = workload.multicast_request()
+        assert request.dst_nis == ("NI10", "NI11")
+
+
+class TestRandomPattern:
+    def test_pattern_properties(self):
+        nis = [f"NI{i}" for i in range(8)]
+        requests = random_traffic_pattern(nis, pairs=20, seed=5)
+        assert len(requests) == 20
+        for request in requests:
+            assert request.src_ni != request.dst_ni
+            assert 1 <= request.forward_slots <= 3
+
+    def test_deterministic(self):
+        nis = [f"NI{i}" for i in range(4)]
+        a = random_traffic_pattern(nis, 10, seed=9)
+        b = random_traffic_pattern(nis, 10, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            random_traffic_pattern(["NI0"], 5)
+        with pytest.raises(TrafficError):
+            random_traffic_pattern(
+                ["NI0", "NI1"], 5, slots_min=3, slots_max=1
+            )
