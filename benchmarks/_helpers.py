@@ -2,12 +2,47 @@
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Tuple
 
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import NetworkParameters, daelite_parameters
+from repro.sim.kernel import (
+    KERNEL_MODE_ENV,
+    NAIVE_MODE,
+    default_kernel_mode,
+)
 from repro.topology import Topology, build_mesh
+
+#: pytest option disabling the activity-driven fast path for a run.
+NO_FAST_PATH_OPTION = "--no-fast-path"
+
+
+def add_no_fast_path_option(parser) -> None:
+    """Register ``--no-fast-path`` on a pytest parser (shared by the
+    test and benchmark conftests)."""
+    parser.addoption(
+        NO_FAST_PATH_OPTION,
+        action="store_true",
+        default=False,
+        help=(
+            "run every simulation on the naive every-cycle kernel "
+            f"(equivalent to {KERNEL_MODE_ENV}={NAIVE_MODE})"
+        ),
+    )
+
+
+def apply_no_fast_path(config) -> None:
+    """Honor ``--no-fast-path`` by pinning the kernel-mode env var, so
+    every Kernel constructed during the run uses the naive path."""
+    if config.getoption(NO_FAST_PATH_OPTION):
+        os.environ[KERNEL_MODE_ENV] = NAIVE_MODE
+
+
+def resolved_kernel_mode() -> str:
+    """The mode any default-constructed Kernel will use right now."""
+    return default_kernel_mode()
 
 
 def connected_daelite(
@@ -19,6 +54,7 @@ def connected_daelite(
     reverse_slots: int = 1,
     host: Optional[str] = None,
     label: str = "bench",
+    kernel_mode: Optional[str] = None,
 ):
     """A daelite network with one live connection; returns
     (network, connection, handle)."""
@@ -32,7 +68,9 @@ def connected_daelite(
             reverse_slots=reverse_slots,
         )
     )
-    network = DaeliteNetwork(topology, params, host_ni=host or src)
+    network = DaeliteNetwork(
+        topology, params, host_ni=host or src, kernel_mode=kernel_mode
+    )
     handle = network.configure(connection)
     return network, connection, handle
 

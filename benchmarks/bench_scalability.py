@@ -8,11 +8,15 @@ simulator throughput scale.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from _helpers import connected_daelite
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE, NAIVE_MODE
 from repro.topology import build_mesh, ni_name, router_name
 
 
@@ -51,6 +55,81 @@ def test_setup_scaling_with_network_size(benchmark):
     # Even at the 64-element envelope, set-up stays ~100 cycles —
     # the basis for "fast connection set-up" at scale.
     assert cycles[-1] < 150
+
+
+def run_sparse_workload_8x8(mode, run_cycles=20_000):
+    """One corner-to-corner connection on an 8x8 mesh (128 elements,
+    9-bit config words) carrying bursty traffic with long idle gaps —
+    the workload profile the activity-driven kernel is built for."""
+    params = daelite_parameters(slot_table_size=16, config_word_bits=9)
+    mesh = build_mesh(8, 8)
+    dst = ni_name(7, 7)
+    started = time.perf_counter()
+    net, _, handle = connected_daelite(
+        mesh, params, "NI00", dst, kernel_mode=mode
+    )
+    base = net.kernel.cycle
+    src_channel = handle.forward.src_channel
+    dst_channel = handle.forward.dst_channel
+    for start in range(0, run_cycles, 500):
+        net.kernel.at(
+            base + start,
+            lambda cycle: net.ni("NI00").submit_words(
+                src_channel, list(range(4))
+            ),
+        )
+        net.kernel.at(
+            base + start + 120,
+            lambda cycle: net.ni(dst).receive(dst_channel),
+        )
+    net.run(run_cycles)
+    elapsed = time.perf_counter() - started
+    delivered = net.stats.delivered_words(f"NI00.ch{src_channel}")
+    return elapsed, delivered, net
+
+
+def test_activity_kernel_speedup_on_8x8_mesh(benchmark):
+    """The activity-driven kernel must beat the naive every-cycle
+    kernel by >=5x wall-clock on an 8x8 mesh with sparse traffic, while
+    delivering the identical word count."""
+    run_cycles = 20_000
+
+    def activity_run():
+        return run_sparse_workload_8x8(ACTIVITY_MODE, run_cycles)
+
+    fast_wall, fast_delivered, fast_net = benchmark(activity_run)
+    # Best-of-two on each side damps scheduler noise on loaded runners.
+    fast_wall = min(fast_wall, run_sparse_workload_8x8(
+        ACTIVITY_MODE, run_cycles
+    )[0])
+    naive_runs = [
+        run_sparse_workload_8x8(NAIVE_MODE, run_cycles) for _ in range(2)
+    ]
+    naive_wall = min(run[0] for run in naive_runs)
+    _, naive_delivered, naive_net = naive_runs[0]
+    speedup = naive_wall / fast_wall
+    print("\n8x8 MESH (128 elements, T=16) — kernel wall-clock")
+    print(f"{'kernel':>9} {'wall [s]':>9} {'cycles/s':>10} {'words':>6}")
+    print(
+        f"{'activity':>9} {fast_wall:>9.3f}"
+        f" {run_cycles / fast_wall:>10,.0f} {fast_delivered:>6}"
+    )
+    print(
+        f"{'naive':>9} {naive_wall:>9.3f}"
+        f" {run_cycles / naive_wall:>10,.0f} {naive_delivered:>6}"
+    )
+    print(
+        f"speedup: {speedup:.2f}x  (fast-forwarded "
+        f"{fast_net.kernel.fast_forwarded_cycles} of {run_cycles} cycles)"
+    )
+    assert fast_delivered == naive_delivered > 0
+    assert fast_net.total_dropped_words == naive_net.total_dropped_words
+    assert fast_net.kernel.fast_forwarded_cycles > 0
+    assert naive_net.kernel.fast_forwarded_cycles == 0
+    assert speedup >= 5.0, (
+        f"activity kernel only {speedup:.2f}x faster than naive "
+        f"on 8x8 — expected >=5x"
+    )
 
 
 def test_addressing_envelope_enforced(benchmark):

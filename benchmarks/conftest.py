@@ -1,0 +1,13 @@
+"""Benchmark-harness configuration: kernel-mode plumbing."""
+
+from __future__ import annotations
+
+from _helpers import add_no_fast_path_option, apply_no_fast_path
+
+
+def pytest_addoption(parser):
+    add_no_fast_path_option(parser)
+
+
+def pytest_configure(config):
+    apply_no_fast_path(config)

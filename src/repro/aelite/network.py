@@ -63,6 +63,7 @@ class AeliteNetwork:
         host_ni: Optional[str] = None,
         processor_overhead: int = 0,
         strict: bool = False,
+        kernel_mode: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.params = params or aelite_parameters()
@@ -70,7 +71,7 @@ class AeliteNetwork:
         if not topology.nis:
             raise TopologyError("an aelite network needs at least one NI")
         self.host_element = host_ni or topology.nis[0].name
-        self.kernel = Kernel()
+        self.kernel = Kernel(mode=kernel_mode)
         self.stats = StatsCollector()
         self.routers: Dict[str, AeliteRouter] = {}
         self.nis: Dict[str, AeliteNetworkInterface] = {}

@@ -71,6 +71,17 @@ class AeliteRouter(Component):
     def ports(self) -> int:
         return self.element.arity
 
+    def external_inputs(self) -> List[Register]:
+        """Incoming data links (aelite has no config tree to watch)."""
+        return [
+            link.register for link in self.in_links if link is not None
+        ]
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        """Purely reactive: per-input packet state (``_input_state``)
+        only changes when a word arrives on a link register."""
+        return None
+
     def evaluate(self, cycle: int) -> None:
         for input_port in range(self.ports):
             in_link = self.in_links[input_port]

@@ -131,6 +131,26 @@ class ConfigModule(Component):
 
     # -- cycle behaviour ---------------------------------------------------------
 
+    def external_inputs(self):
+        """The response link, read while a request is active."""
+        if self.response_link is not None:
+            return (self.response_link.register,)
+        return ()
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        """Streaming words happens every cycle; between the last word and
+        the cool-down deadline (or the next pending activation) the
+        module sleeps, except that awaited responses keep it polling."""
+        if self._active is not None:
+            if self._word_queue:
+                return cycle
+            if len(self._active.responses) < self._active.expected_responses:
+                return cycle
+            return max(cycle, self._busy_until)
+        if self._pending:
+            return max(cycle, self._busy_until)
+        return None
+
     def evaluate(self, cycle: int) -> None:
         self._collect_response(cycle)
         if self._active is None and self._pending and (

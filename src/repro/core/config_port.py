@@ -62,6 +62,21 @@ class ConfigPort:
         #: Response words queued by the owning element (read results).
         self.response_queue: Deque[int] = deque()
 
+    @property
+    def pending(self) -> bool:
+        """Work not visible in any register: queued responses, or a
+        decoder mid-packet (whose actions fire on the gap cycle, when the
+        input link is *idle* — so the owner must stay awake for it)."""
+        return bool(self.response_queue) or self.decoder.busy
+
+    def external_inputs(self) -> List[Register]:
+        """Registers of the narrow links this port reads each cycle."""
+        registers = []
+        if self.in_link is not None:
+            registers.append(self.in_link.register)
+        registers.extend(link.register for link in self.resp_child_links)
+        return registers
+
     def evaluate(self, cycle: int) -> List[Action]:
         """One cycle of the config submodule; returns decoded actions.
 

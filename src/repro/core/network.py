@@ -57,6 +57,7 @@ class DaeliteNetwork:
         host_ni: Optional[str] = None,
         strict: bool = False,
         tracer: Optional[Tracer] = None,
+        kernel_mode: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.tracer = tracer or NULL_TRACER
@@ -68,7 +69,7 @@ class DaeliteNetwork:
             raise TopologyError("a daelite network needs at least one NI")
         self.host_element = host_ni or topology.nis[0].name
         topology.element(self.host_element)
-        self.kernel = Kernel()
+        self.kernel = Kernel(mode=kernel_mode)
         self.stats = StatsCollector()
         self.routers: Dict[str, Router] = {}
         self.nis: Dict[str, NetworkInterface] = {}

@@ -164,6 +164,50 @@ class NetworkInterface(Component):
 
     # -- cycle behaviour -------------------------------------------------------
 
+    def external_inputs(self) -> List[Register]:
+        """The incoming data link plus the config tree's incoming links."""
+        registers = []
+        if self.in_link is not None:
+            registers.append(self.in_link.register)
+        registers.extend(self.config.external_inputs())
+        return registers
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        """Arrivals and pipeline movement are register-driven; the only
+        self-scheduled work is the injection decision (queued words or
+        credits to return, possible only in granted slots) and the config
+        decoder's gap cycle."""
+        if self.config.pending:
+            return cycle
+        backlog = any(
+            source.has_backlog for source in self.source_channels.values()
+        )
+        if not backlog and not any(
+            dest.has_pending_credits
+            for dest in self.dest_channels.values()
+        ):
+            return None
+        return self._next_injection_opportunity(cycle)
+
+    def _next_injection_opportunity(self, cycle: int) -> Optional[int]:
+        """First cycle >= ``cycle`` whose injection slot is granted to
+        any channel (``None`` when the table is empty — with no granted
+        slot the decision stage is a guaranteed no-op)."""
+        occupied = self.injection_table.occupied()
+        if not occupied:
+            return None
+        words_per_slot = self.params.words_per_slot
+        size = self.params.slot_table_size
+        current = (cycle // words_per_slot) % size
+        best = None
+        for slot in occupied:
+            delta = (slot - current) % size
+            if delta == 0:
+                return cycle
+            if best is None or delta < best:
+                best = delta
+        return cycle - (cycle % words_per_slot) + best * words_per_slot
+
     def evaluate(self, cycle: int) -> None:
         self._handle_arrival(cycle)
         self._handle_injection(cycle)

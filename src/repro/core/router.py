@@ -82,13 +82,24 @@ class Router(Component):
     def ports(self) -> int:
         return self.element.arity
 
+    def external_inputs(self) -> List[Register]:
+        """Incoming data links plus the config tree's incoming links."""
+        registers = [
+            link.register for link in self.in_links if link is not None
+        ]
+        registers.extend(self.config.external_inputs())
+        return registers
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        """Routers are purely reactive: everything they do is triggered
+        by an incoming (data or config) register, except the decoder's
+        gap-cycle action emission, covered by ``config.pending``."""
+        return cycle if self.config.pending else None
+
     def evaluate(self, cycle: int) -> None:
         slot = self.params.lagged_slot_of_cycle(cycle)
         consumed = set()
-        for output in range(self.ports):
-            input_port = self.slot_table.entry(output, slot)
-            if input_port is None:
-                continue
+        for output, input_port in self.slot_table.forwards(slot):
             in_link = self.in_links[input_port]
             if in_link is None:
                 continue

@@ -152,6 +152,10 @@ class RouterSlotTable:
         self._table: List[List[Optional[int]]] = [
             [None] * slot_table_size for _ in range(ports)
         ]
+        # Per-slot (output, input) forwarding decisions, computed lazily
+        # and invalidated by set/clear.  The router hot path hits this
+        # instead of walking every output port each cycle.
+        self._forwards: List[Optional[tuple]] = [None] * slot_table_size
 
     def entry(self, output: int, slot: int) -> Optional[int]:
         """Input port feeding ``output`` during ``slot`` (or ``None``).
@@ -183,11 +187,31 @@ class RouterSlotTable:
                 f"{input_port}"
             )
         self._table[output][slot] = input_port
+        self._forwards[slot] = None
 
     def clear_entry(self, output: int, slot: int) -> None:
         """Tear-down: stop forwarding on ``output`` during ``slot``."""
         self._check_output(output)
         self._table[output][slot % self.size] = None
+        self._forwards[slot % self.size] = None
+
+    def forwards(self, slot: int) -> tuple:
+        """Cached ``(output, input)`` pairs active during ``slot``.
+
+        This is the router's per-cycle routing decision; it changes only
+        when the table is programmed, so it is computed once per
+        (re)configuration instead of once per cycle.
+        """
+        slot %= self.size
+        cached = self._forwards[slot]
+        if cached is None:
+            cached = tuple(
+                (output, column[slot])
+                for output, column in enumerate(self._table)
+                if column[slot] is not None
+            )
+            self._forwards[slot] = cached
+        return cached
 
     def apply_mask(
         self, output: int, mask: SlotMask, input_port: Optional[int]
@@ -240,10 +264,25 @@ class NiInjectionTable:
             raise ParameterError("slot table size must be >= 1")
         self.size = slot_table_size
         self._table: List[Optional[int]] = [None] * slot_table_size
+        # Sorted tuple of granted slots, computed lazily; lets the NI
+        # jump straight to its next injection opportunity.
+        self._occupied: Optional[tuple] = None
 
     def channel(self, slot: int) -> Optional[int]:
         """Channel allowed to inject during ``slot`` (or ``None``)."""
         return self._table[slot % self.size]
+
+    def occupied(self) -> tuple:
+        """Cached sorted tuple of all granted slot indices."""
+        cached = self._occupied
+        if cached is None:
+            cached = tuple(
+                slot
+                for slot, owner in enumerate(self._table)
+                if owner is not None
+            )
+            self._occupied = cached
+        return cached
 
     def set_slot(self, slot: int, channel: int) -> None:
         """Grant ``slot`` to ``channel``.
@@ -260,9 +299,11 @@ class NiInjectionTable:
                 f"{current}"
             )
         self._table[slot] = channel
+        self._occupied = None
 
     def clear_slot(self, slot: int) -> None:
         self._table[slot % self.size] = None
+        self._occupied = None
 
     def slots_of(self, channel: int) -> Set[int]:
         """All slots granted to ``channel``."""

@@ -56,5 +56,11 @@ class FlowControlError(SimulationError):
     """End-to-end credit accounting was violated."""
 
 
+class StatsIntegrityError(SimulationError):
+    """The statistics collector observed an impossible word lifecycle
+    (ejection without injection, duplicate injection, out-of-order
+    delivery) — the collector state is left untouched when raised."""
+
+
 class TrafficError(ReproError):
     """A traffic generator or sink was misused."""

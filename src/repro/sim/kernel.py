@@ -1,4 +1,4 @@
-"""Two-phase cycle-driven simulation kernel.
+"""Two-phase cycle-driven simulation kernel with an activity-driven mode.
 
 Every piece of state that crosses a clock edge lives in a :class:`Register`.
 Each cycle the kernel runs two phases:
@@ -14,14 +14,74 @@ Each cycle the kernel runs two phases:
 A register refuses to be driven twice in one cycle; a double drive is a
 word collision, which the contention-free schedule must make impossible,
 so it raises :class:`~repro.errors.SimulationError`.
+
+Evaluation modes
+----------------
+
+The kernel supports two modes, selected per instance or through the
+``REPRO_KERNEL_MODE`` environment variable (``activity``, the default, or
+``naive``):
+
+* ``naive`` — the reference semantics above, literally: every component is
+  evaluated and every register latched on every cycle.
+* ``activity`` — the same observable behaviour, computed lazily.  A TDM
+  NoC is mostly idle (most slots on most links carry nothing), so the
+  kernel tracks *activity* instead of brute-forcing every cycle:
+
+  - **dirty latch** — :meth:`Register.drive` records the register in the
+    kernel's dirty set, and the latch phase touches only registers that
+    were driven this cycle or still hold a non-idle output (which must
+    decay back to idle, exactly as a full latch would).
+  - **wake sets** — components declare the registers they read
+    (:attr:`Component.registers` implicitly, :meth:`Component.external_inputs`
+    explicitly); a component is evaluated only when one of those registers
+    was latched non-idle at the previous edge, or when it *self-schedules*
+    through :meth:`Component.next_evaluation` (pending slot-table work,
+    queued words, a traffic generator's next firing, ...).
+  - **fast-forward** — when no register is active, no callback is due and
+    every component self-schedules strictly in the future (or never), the
+    clock jumps straight to the earliest such cycle.  No state can change
+    in between — skipped cycles are bit-for-bit identical to stepping
+    through them — so the jump is sound; the static TDM schedule makes
+    the next-work computation O(1) per component.
+
+The activity invariant: a component may be skipped in a cycle only if its
+``evaluate`` would have been a pure no-op, and a register may skip the
+latch only if latching would not change it.  ``tests/sim/test_kernel_equivalence.py``
+checks the two modes produce bit-identical per-cycle register traces on
+randomized networks and workloads.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from ..errors import SimulationError
+
+#: Environment variable selecting the default kernel mode.
+KERNEL_MODE_ENV = "REPRO_KERNEL_MODE"
+#: Activity-driven evaluation (wake sets, dirty latch, fast-forward).
+ACTIVITY_MODE = "activity"
+#: Reference evaluation: everything, every cycle.
+NAIVE_MODE = "naive"
+
+_MODES = (ACTIVITY_MODE, NAIVE_MODE)
+
+
+def default_kernel_mode() -> str:
+    """Kernel mode from ``REPRO_KERNEL_MODE`` (``activity`` when unset).
+
+    Raises:
+        SimulationError: if the variable holds an unknown mode.
+    """
+    mode = os.environ.get(KERNEL_MODE_ENV, ACTIVITY_MODE).strip().lower()
+    if mode not in _MODES:
+        raise SimulationError(
+            f"{KERNEL_MODE_ENV}={mode!r} is not one of {_MODES}"
+        )
+    return mode
 
 
 class Register:
@@ -33,7 +93,7 @@ class Register:
         idle: Value ``q`` takes when nothing was driven.
     """
 
-    __slots__ = ("name", "idle", "q", "_d", "_driven")
+    __slots__ = ("name", "idle", "q", "_d", "_driven", "_sink")
 
     def __init__(self, name: str, idle: Any = None) -> None:
         self.name = name
@@ -41,6 +101,8 @@ class Register:
         self.q: Any = idle
         self._d: Any = idle
         self._driven = False
+        #: Owning kernel's dirty list (None for free-standing registers).
+        self._sink: Optional[List["Register"]] = None
 
     def drive(self, value: Any) -> None:
         """Drive the register input for this cycle.
@@ -55,6 +117,8 @@ class Register:
             )
         self._d = value
         self._driven = True
+        if self._sink is not None:
+            self._sink.append(self)
 
     @property
     def driven(self) -> bool:
@@ -84,17 +148,50 @@ class Component(ABC):
     calling ``.drive`` on register inputs.  Registers created through
     :meth:`make_register` are automatically latched by the kernel the
     component is attached to.
+
+    Activity contract (used by the kernel's ``activity`` mode):
+
+    * a component is always evaluated in a cycle in which one of its own
+      registers or one of :meth:`external_inputs` holds a non-idle output;
+    * otherwise it is evaluated only when :meth:`next_evaluation` says the
+      current cycle may hold work.  The default — "every cycle" — is the
+      safe choice for components the kernel knows nothing about; it simply
+      reproduces naive-mode behaviour for them.
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.registers: List[Register] = []
+        self._kernel: Optional["Kernel"] = None
 
     def make_register(self, suffix: str, idle: Any = None) -> Register:
         """Create a register owned (and latched) with this component."""
         register = Register(f"{self.name}.{suffix}", idle=idle)
         self.registers.append(register)
+        if self._kernel is not None:
+            self._kernel._adopt_register(register)
         return register
+
+    def external_inputs(self) -> Iterable[Register]:
+        """Registers this component reads but does not own.
+
+        Typically the pipeline registers of incoming links.  The kernel
+        re-evaluates the component whenever one of them is active.
+        """
+        return ()
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        """Earliest cycle ``>= cycle`` at which :meth:`evaluate` may do
+        observable work, assuming no watched register becomes active and
+        no external code mutates this component before then.
+
+        ``None`` means "never (until something wakes me)".  Returning a
+        conservative (too early) cycle is always sound — evaluating an
+        idle component is a no-op — but returning a too-late cycle breaks
+        cycle accuracy.  The default, ``cycle``, keeps unknown components
+        on the naive every-cycle schedule.
+        """
+        return cycle
 
     @abstractmethod
     def evaluate(self, cycle: int) -> None:
@@ -115,19 +212,70 @@ class Kernel:
     The kernel also exposes a tiny scheduling facility: callbacks that run
     at the start of a chosen cycle, used by test benches and the host model
     to inject stimuli at precise times.
+
+    Attributes:
+        cycle: The current simulation cycle.
+        active_cycles: Cycles in which at least one component was
+            evaluated or register latched (instrumentation).
+        fast_forwarded_cycles: Quiescent cycles skipped in O(1) by the
+            activity mode (instrumentation).
+        evaluations: Total component evaluations performed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, mode: Optional[str] = None) -> None:
         self.cycle = 0
         self.components: List[Component] = []
         self._extra_registers: List[Register] = []
         self._callbacks: dict[int, List[Callable[[int], None]]] = {}
+        if mode is None:
+            mode = default_kernel_mode()
+        elif mode not in _MODES:
+            raise SimulationError(
+                f"unknown kernel mode {mode!r}; expected one of {_MODES}"
+            )
+        self._mode = mode
+        #: Registers driven during the current cycle (filled by drive()).
+        self._dirty: List[Register] = []
+        #: Registers whose q was latched non-idle at the previous edge.
+        self._carry: Set[Register] = set()
+        #: Components woken for the current cycle by register activity.
+        self._wake: Set[Component] = set()
+        #: register -> components watching it; None marks "needs rebuild".
+        self._watchers: Optional[Dict[Register, tuple]] = None
+        self.active_cycles = 0
+        self.fast_forwarded_cycles = 0
+        self.evaluations = 0
+
+    # -- mode ----------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The evaluation mode, ``"activity"`` or ``"naive"``."""
+        return self._mode
+
+    def set_mode(self, mode: str) -> None:
+        """Switch evaluation mode (allowed at any cycle boundary).
+
+        Raises:
+            SimulationError: on an unknown mode.
+        """
+        if mode not in _MODES:
+            raise SimulationError(
+                f"unknown kernel mode {mode!r}; expected one of {_MODES}"
+            )
+        if mode != self._mode:
+            self._mode = mode
+            self._watchers = None  # rebuild activity state on next step
 
     # -- construction --------------------------------------------------------
 
     def add(self, component: Component) -> Component:
         """Register a component (and its registers) with the kernel."""
         self.components.append(component)
+        component._kernel = self
+        for register in component.registers:
+            register._sink = self._dirty
+        self._watchers = None
         return component
 
     def add_all(self, components: Iterable[Component]) -> None:
@@ -138,7 +286,22 @@ class Kernel:
     def add_register(self, register: Register) -> Register:
         """Track a free-standing register not owned by any component."""
         self._extra_registers.append(register)
+        register._sink = self._dirty
+        self._watchers = None
         return register
+
+    def _adopt_register(self, register: Register) -> None:
+        """Hook a register created after its component was added."""
+        register._sink = self._dirty
+        self._watchers = None
+
+    def all_registers(self) -> List[Register]:
+        """Every register latched by this kernel (components + extras)."""
+        registers: List[Register] = []
+        for component in self.components:
+            registers.extend(component.registers)
+        registers.extend(self._extra_registers)
+        return registers
 
     def at(self, cycle: int, callback: Callable[[int], None]) -> None:
         """Schedule ``callback(cycle)`` at the start of ``cycle``.
@@ -152,10 +315,117 @@ class Kernel:
             )
         self._callbacks.setdefault(cycle, []).append(callback)
 
+    # -- activity bookkeeping -------------------------------------------------
+
+    def _finalize(self) -> None:
+        """(Re)build the register->watchers map and the activity sets."""
+        watchers: Dict[Register, list] = {}
+        for component in self.components:
+            component._kernel = self
+            for register in component.registers:
+                register._sink = self._dirty
+                watchers.setdefault(register, []).append(component)
+            for register in component.external_inputs():
+                entry = watchers.setdefault(register, [])
+                if component not in entry:
+                    entry.append(component)
+        for register in self._extra_registers:
+            register._sink = self._dirty
+            watchers.setdefault(register, [])
+        self._watchers = {
+            register: tuple(components)
+            for register, components in watchers.items()
+        }
+        # Rebuild the active sets from the registers' current outputs so
+        # a mode switch (or late component addition) starts consistent.
+        carry: Set[Register] = set()
+        wake: Set[Component] = set()
+        for register in self._watchers:
+            q = register.q
+            if q is not register.idle and q != register.idle:
+                carry.add(register)
+                wake.update(self._watchers[register])
+        self._carry = carry
+        self._wake = wake
+
+    def _next_active_cycle(self) -> Optional[int]:
+        """Earliest cycle >= now at which anything may happen.
+
+        Returns ``None`` when no register is active, no callback is
+        scheduled and every component self-schedules "never".
+        """
+        cycle = self.cycle
+        if self._wake or self._carry or self._dirty:
+            return cycle
+        best: Optional[int] = None
+        for scheduled in self._callbacks:
+            if scheduled >= cycle and (best is None or scheduled < best):
+                best = scheduled
+        if best == cycle:
+            return cycle
+        for component in self.components:
+            nxt = component.next_evaluation(cycle)
+            if nxt is None:
+                continue
+            if nxt <= cycle:
+                return cycle
+            if best is None or nxt < best:
+                best = nxt
+        return best
+
+    def _run_active_cycle(self) -> None:
+        """Execute one cycle: callbacks, woken components, dirty latch."""
+        cycle = self.cycle
+        self.active_cycles += 1
+        for callback in self._callbacks.pop(cycle, ()):  # stimuli
+            callback(cycle)
+        wake = self._wake
+        evaluated = 0
+        for component in self.components:
+            if component in wake:
+                component.evaluate(cycle)
+                evaluated += 1
+            else:
+                # Checked at the component's turn (not precomputed) so a
+                # component earlier in the order that queued work for a
+                # later one this cycle has the same effect as in naive
+                # evaluation order.
+                nxt = component.next_evaluation(cycle)
+                if nxt is not None and nxt <= cycle:
+                    component.evaluate(cycle)
+                    evaluated += 1
+        self.evaluations += evaluated
+        # Dirty latch: only registers driven this cycle or still holding
+        # a non-idle output can change at this edge.
+        pending = self._carry
+        pending.update(self._dirty)
+        self._dirty.clear()
+        watchers = self._watchers
+        assert watchers is not None
+        carry: Set[Register] = set()
+        wake = set()
+        for register in pending:
+            register.latch()
+            q = register.q
+            if q is not register.idle and q != register.idle:
+                carry.add(register)
+                watching = watchers.get(register)
+                if watching:
+                    wake.update(watching)
+        self._carry = carry
+        self._wake = wake
+        self.cycle = cycle + 1
+
     # -- execution -----------------------------------------------------------
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by ``cycles`` clock cycles."""
+        if self._mode == NAIVE_MODE:
+            self._step_naive(cycles)
+        else:
+            self._step_activity(cycles)
+
+    def _step_naive(self, cycles: int) -> None:
         for _ in range(cycles):
             for callback in self._callbacks.pop(self.cycle, ()):  # stimuli
                 callback(self.cycle)
@@ -166,7 +436,25 @@ class Kernel:
                     register.latch()
             for register in self._extra_registers:
                 register.latch()
+            self._dirty.clear()
+            self.evaluations += len(self.components)
+            self.active_cycles += 1
             self.cycle += 1
+
+    def _step_activity(self, cycles: int) -> None:
+        end = self.cycle + cycles
+        while self.cycle < end:
+            if self._watchers is None:
+                self._finalize()
+            nxt = self._next_active_cycle()
+            if nxt is None or nxt >= end:
+                self.fast_forwarded_cycles += end - self.cycle
+                self.cycle = end
+                return
+            if nxt > self.cycle:
+                self.fast_forwarded_cycles += nxt - self.cycle
+                self.cycle = nxt
+            self._run_active_cycle()
 
     def run_until(
         self,
@@ -175,17 +463,38 @@ class Kernel:
     ) -> int:
         """Step until ``predicate()`` is true; return the current cycle.
 
+        In activity mode the predicate is re-checked after every cycle in
+        which any component ran or register latched; fully quiescent
+        stretches — during which no state the predicate could observe can
+        change — are fast-forwarded.  (A predicate that watches
+        ``kernel.cycle`` itself rather than simulation state should use
+        :meth:`step` directly.)
+
         Raises:
             SimulationError: if the predicate stays false for
                 ``max_cycles`` cycles.
         """
         start = self.cycle
+        limit = start + max_cycles
         while not predicate():
-            if self.cycle - start >= max_cycles:
+            if self.cycle >= limit:
                 raise SimulationError(
                     f"condition not reached within {max_cycles} cycles"
                 )
-            self.step()
+            if self._mode == NAIVE_MODE:
+                self._step_naive(1)
+            else:
+                if self._watchers is None:
+                    self._finalize()
+                nxt = self._next_active_cycle()
+                if nxt is None or nxt >= limit:
+                    self.fast_forwarded_cycles += limit - self.cycle
+                    self.cycle = limit
+                    continue
+                if nxt > self.cycle:
+                    self.fast_forwarded_cycles += nxt - self.cycle
+                    self.cycle = nxt
+                self._run_active_cycle()
         return self.cycle
 
     def reset(self) -> None:
@@ -196,3 +505,6 @@ class Kernel:
             component.reset()
         for register in self._extra_registers:
             register.reset()
+        self._dirty.clear()
+        self._carry.clear()
+        self._wake.clear()

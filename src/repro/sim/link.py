@@ -53,8 +53,10 @@ class Link:
     @property
     def incoming(self) -> Phit:
         """The phit that finished traversing the link this cycle."""
-        phit = self.register.q
-        return phit if phit is not None else IDLE_PHIT
+        # The register idles at IDLE_PHIT and is only ever driven with
+        # phits, so ``q`` is always a Phit — keep the hot path a plain
+        # attribute read.
+        return self.register.q
 
     def __repr__(self) -> str:
         return f"Link({self.name!r})"

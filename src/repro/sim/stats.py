@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..errors import SimulationError
+from ..errors import SimulationError, StatsIntegrityError
 from .flit import Word
 
 
@@ -86,7 +86,7 @@ class StatsCollector:
         """Note that ``word`` was driven onto its source link at ``cycle``."""
         key = (word.connection, word.sequence)
         if key in self._records:
-            raise SimulationError(
+            raise StatsIntegrityError(
                 f"word {key} injected twice (cycles "
                 f"{self._records[key].injected_at} and {cycle})"
             )
@@ -103,19 +103,25 @@ class StatsCollector:
         """Note delivery of ``word`` at ``destination`` at ``cycle``.
 
         Raises:
-            SimulationError: on duplicate, unknown, or out-of-order
+            StatsIntegrityError: on duplicate, unknown, or out-of-order
                 delivery — all impossible in a contention-free schedule.
+                The collector state is not modified when this is raised,
+                so a misdelivered word can never masquerade as (or
+                overwrite) a legitimate record.
         """
         key = (word.connection, word.sequence)
         record = self._records.get(key)
         if record is None:
-            raise SimulationError(
-                f"word {key} ejected at {destination!r} but never injected"
+            known = sorted(self.connections)
+            raise StatsIntegrityError(
+                f"word {key} ejected at {destination!r} at cycle {cycle} "
+                f"but was never injected — a misrouted or fabricated "
+                f"word (known connections: {known})"
             )
         flow = (word.connection, destination)
         last = self._last_ejected.get(flow)
         if last is not None and word.sequence <= last:
-            raise SimulationError(
+            raise StatsIntegrityError(
                 f"out-of-order delivery on {flow}: sequence {word.sequence} "
                 f"after {last}"
             )

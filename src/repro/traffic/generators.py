@@ -75,12 +75,27 @@ class CbrGenerator(Component):
             and self.words_generated >= self.total_words
         )
 
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        return _periodic_next(cycle, self.start_cycle, self.period, self.done)
+
     def evaluate(self, cycle: int) -> None:
         if self.done or cycle < self.start_cycle:
             return
         if (cycle - self.start_cycle) % self.period == 0:
             self.inject(self.words_generated & 0xFFFF_FFFF)
             self.words_generated += 1
+
+
+def _periodic_next(
+    cycle: int, start_cycle: int, period: int, done: bool
+) -> Optional[int]:
+    """Next firing cycle of a ``(cycle - start) % period == 0`` source."""
+    if done:
+        return None
+    if cycle <= start_cycle:
+        return start_cycle
+    offset = (cycle - start_cycle) % period
+    return cycle if offset == 0 else cycle + period - offset
 
 
 class BurstGenerator(Component):
@@ -112,6 +127,9 @@ class BurstGenerator(Component):
             self.total_bursts is not None
             and self.bursts_generated >= self.total_bursts
         )
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        return _periodic_next(cycle, self.start_cycle, self.period, self.done)
 
     def evaluate(self, cycle: int) -> None:
         if self.done or cycle < self.start_cycle:
@@ -179,6 +197,14 @@ class TraceGenerator(Component):
     @property
     def done(self) -> bool:
         return self._index >= len(self.trace)
+
+    def next_evaluation(self, cycle: int) -> Optional[int]:
+        if self.done:
+            return None
+        # Entries in the past never fire (evaluate matches ``== cycle``),
+        # exactly as if the naive loop had stepped over them.
+        scheduled = self.trace[self._index][0]
+        return scheduled if scheduled >= cycle else None
 
     def evaluate(self, cycle: int) -> None:
         while not self.done and self.trace[self._index][0] == cycle:

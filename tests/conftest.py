@@ -2,12 +2,48 @@
 
 from __future__ import annotations
 
+import os
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import aelite_parameters, daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE, KERNEL_MODE_ENV, Kernel
 from repro.topology import build_mesh
+
+# The --no-fast-path plumbing is shared with the benchmark harness.
+sys.path.insert(
+    0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+)
+from _helpers import (  # noqa: E402
+    add_no_fast_path_option,
+    apply_no_fast_path,
+)
+
+
+def pytest_addoption(parser):
+    add_no_fast_path_option(parser)
+
+
+def pytest_configure(config):
+    apply_no_fast_path(config)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _kernel_mode_honors_environment():
+    """CI runs the whole suite in both modes by exporting
+    ``REPRO_KERNEL_MODE``; guarantee the plumbing actually works — a
+    default-constructed kernel must resolve to the requested mode."""
+    expected = os.environ.get(KERNEL_MODE_ENV, ACTIVITY_MODE)
+    assert Kernel().mode == expected, (
+        f"kernel mode plumbing broken: {KERNEL_MODE_ENV}="
+        f"{os.environ.get(KERNEL_MODE_ENV)!r} but Kernel() resolved to "
+        f"{Kernel().mode!r}"
+    )
+    yield
 
 
 @pytest.fixture

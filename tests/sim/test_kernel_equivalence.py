@@ -1,0 +1,286 @@
+"""Differential proof that the activity-driven kernel is cycle-accurate.
+
+Every scenario is built twice — once on the naive every-cycle kernel
+(the reference semantics) and once on the activity-driven kernel — and
+run in lockstep.  After *every* cycle, every register output of both
+networks must be bit-identical; afterwards, the per-connection
+statistics (counts and full latency distributions) and per-word
+lifecycles must match exactly.
+
+Hypothesis drives random topologies, random allocated connections, and
+random traffic through both builds.  Any divergence — a component the
+activity kernel failed to wake, a register it failed to latch, a cycle
+fast-forward skipped that was not actually quiescent — shows up as the
+first differing register, with its name and cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.aelite import AeliteNetwork
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.errors import AllocationError
+from repro.params import aelite_parameters, daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE, NAIVE_MODE
+from repro.topology import build_mesh, ni_name
+
+# -- scenario description ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible network + workload, buildable on either kernel."""
+
+    width: int
+    height: int
+    #: (src NI, dst NI, forward_slots) per connection.
+    connections: Tuple[Tuple[str, str, int], ...]
+    #: (connection index, delay after configuration, payload count).
+    bursts: Tuple[Tuple[int, int, int], ...]
+    #: Cycles between sink drains at every destination.
+    drain_period: int
+    #: Lockstep cycles to run after configuration.
+    run_cycles: int
+
+
+DIMS = [(1, 2), (2, 2), (2, 3), (3, 3)]
+
+
+@st.composite
+def scenarios(draw) -> Scenario:
+    width, height = draw(st.sampled_from(DIMS))
+    nis = [
+        ni_name(x, y) for x in range(width) for y in range(height)
+    ]
+    n_conns = draw(st.integers(1, min(3, len(nis) - 1)))
+    connections = []
+    for _ in range(n_conns):
+        src, dst = draw(
+            st.tuples(st.sampled_from(nis), st.sampled_from(nis)).filter(
+                lambda pair: pair[0] != pair[1]
+            )
+        )
+        connections.append((src, dst, draw(st.integers(1, 2))))
+    bursts = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_conns - 1),
+                st.integers(0, 150),
+                st.integers(1, 8),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return Scenario(
+        width=width,
+        height=height,
+        connections=tuple(connections),
+        bursts=tuple(bursts),
+        drain_period=draw(st.integers(4, 40)),
+        run_cycles=draw(st.integers(80, 250)),
+    )
+
+
+def allocate(scenario: Scenario, params):
+    """Deterministic allocation — identical for both builds."""
+    mesh = build_mesh(scenario.width, scenario.height)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    allocated = []
+    for index, (src, dst, forward_slots) in enumerate(
+        scenario.connections
+    ):
+        allocated.append(
+            allocator.allocate_connection(
+                ConnectionRequest(
+                    f"c{index}",
+                    src,
+                    dst,
+                    forward_slots=forward_slots,
+                    reverse_slots=1,
+                )
+            )
+        )
+    return mesh, allocated
+
+
+def assert_same_registers(kernel_a, kernel_b, cycle_label: str) -> None:
+    regs_a = kernel_a.all_registers()
+    regs_b = kernel_b.all_registers()
+    for reg_a, reg_b in zip(regs_a, regs_b):
+        assert reg_a.name == reg_b.name
+        assert reg_a.q == reg_b.q, (
+            f"{cycle_label}: register {reg_a.name} diverged — "
+            f"naive={reg_b.q!r}, activity={reg_a.q!r}"
+        )
+    assert len(regs_a) == len(regs_b)
+
+
+def run_lockstep(net_activity, net_naive, cycles: int) -> None:
+    """Advance both networks one cycle at a time, comparing every
+    register output after every clock edge."""
+    assert net_activity.kernel.cycle == net_naive.kernel.cycle
+    for _ in range(cycles):
+        net_activity.run(1)
+        net_naive.run(1)
+        assert_same_registers(
+            net_activity.kernel,
+            net_naive.kernel,
+            f"cycle {net_naive.kernel.cycle}",
+        )
+
+
+def stats_snapshot(stats):
+    connections = {
+        label: (s.injected, s.ejected, tuple(s.latencies))
+        for label, s in stats.connections.items()
+    }
+    records = {
+        key: (record.injected_at, record.ejected_at)
+        for key, record in stats._records.items()
+    }
+    return connections, records
+
+
+# -- daelite -------------------------------------------------------------------
+
+
+def build_daelite(scenario: Scenario, mode: str):
+    params = daelite_parameters(slot_table_size=8)
+    mesh, allocated = allocate(scenario, params)
+    net = DaeliteNetwork(mesh, params, kernel_mode=mode)
+    handles = [net.configure(connection) for connection in allocated]
+    base = net.kernel.cycle
+    for conn_index, delay, count in scenario.bursts:
+        handle = handles[conn_index]
+        src = scenario.connections[conn_index][0]
+        channel = handle.forward.src_channel
+
+        def inject(cycle, src=src, channel=channel, count=count):
+            net.ni(src).submit_words(channel, list(range(count)))
+
+        net.kernel.at(base + delay, inject)
+    for conn_index, (_, dst, _) in enumerate(scenario.connections):
+        handle = handles[conn_index]
+        channel = handle.forward.dst_channel
+        for tick in range(
+            base, base + scenario.run_cycles, scenario.drain_period
+        ):
+            net.kernel.at(
+                tick,
+                lambda cycle, dst=dst, channel=channel: net.ni(
+                    dst
+                ).receive(channel),
+            )
+    return net
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_daelite_activity_kernel_matches_naive(scenario: Scenario):
+    params = daelite_parameters(slot_table_size=8)
+    try:
+        allocate(scenario, params)
+    except AllocationError:
+        assume(False)
+    net_activity = build_daelite(scenario, ACTIVITY_MODE)
+    net_naive = build_daelite(scenario, NAIVE_MODE)
+    run_lockstep(net_activity, net_naive, scenario.run_cycles)
+    assert stats_snapshot(net_activity.stats) == stats_snapshot(
+        net_naive.stats
+    )
+    assert (
+        net_activity.total_dropped_words == net_naive.total_dropped_words
+    )
+
+
+# -- aelite --------------------------------------------------------------------
+
+
+def build_aelite(scenario: Scenario, mode: str):
+    params = aelite_parameters(slot_table_size=8)
+    mesh, allocated = allocate(scenario, params)
+    net = AeliteNetwork(mesh, params, kernel_mode=mode)
+    handles = [
+        net.install_connection(connection) for connection in allocated
+    ]
+    for conn_index, delay, count in scenario.bursts:
+        handle = handles[conn_index]
+        src = scenario.connections[conn_index][0]
+        connection = handle.forward.src_connection
+
+        def inject(cycle, src=src, connection=connection, count=count):
+            net.ni(src).submit_words(connection, list(range(count)))
+
+        net.kernel.at(delay, inject)
+    for conn_index, (_, dst, _) in enumerate(scenario.connections):
+        handle = handles[conn_index]
+        queue = handle.forward.dst_queue
+        for tick in range(0, scenario.run_cycles, scenario.drain_period):
+            net.kernel.at(
+                tick,
+                lambda cycle, dst=dst, queue=queue: net.ni(dst).receive(
+                    queue
+                ),
+            )
+    return net
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(scenario=scenarios())
+def test_aelite_activity_kernel_matches_naive(scenario: Scenario):
+    params = aelite_parameters(slot_table_size=8)
+    try:
+        allocate(scenario, params)
+    except AllocationError:
+        assume(False)
+    net_activity = build_aelite(scenario, ACTIVITY_MODE)
+    net_naive = build_aelite(scenario, NAIVE_MODE)
+    run_lockstep(net_activity, net_naive, scenario.run_cycles)
+    assert stats_snapshot(net_activity.stats) == stats_snapshot(
+        net_naive.stats
+    )
+    assert (
+        net_activity.total_dropped_words == net_naive.total_dropped_words
+    )
+
+
+# -- determinism guard ---------------------------------------------------------
+
+
+def test_configuration_reaches_same_cycle_in_both_modes():
+    """Blocking configuration (run_until on handle.done) must complete
+    at the same cycle in both modes — the predicate only observes
+    simulation state, which fast-forward provably cannot change."""
+    scenario = Scenario(
+        width=2,
+        height=2,
+        connections=(("NI00", "NI11", 2), ("NI10", "NI01", 1)),
+        bursts=((0, 5, 4),),
+        drain_period=10,
+        run_cycles=100,
+    )
+    params = daelite_parameters(slot_table_size=8)
+    mesh, allocated = allocate(scenario, params)
+    cycles = []
+    for mode in (ACTIVITY_MODE, NAIVE_MODE):
+        net = DaeliteNetwork(mesh, params, kernel_mode=mode)
+        for connection in allocated:
+            net.configure(connection)
+        cycles.append(net.kernel.cycle)
+    assert cycles[0] == cycles[1]

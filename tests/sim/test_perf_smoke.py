@@ -1,0 +1,68 @@
+"""Perf-regression smoke test for the simulation kernel.
+
+Bounds simulated cycles/second on a 4x4 mesh under a mixed workload
+(periodic bursts with idle gaps) so a future change cannot silently
+regress the kernel by an order of magnitude.  The bound is set ~10x
+below what the activity-driven kernel achieves on a modest machine
+(~75k cycles/s), so it stays robust to slow CI runners while still
+catching order-of-magnitude regressions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.params import daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE
+from repro.topology import build_mesh, ni_name
+
+#: Minimum simulated cycles per wall-clock second (activity kernel).
+MIN_CYCLES_PER_SECOND = 8_000
+RUN_CYCLES = 30_000
+
+
+@pytest.mark.slow
+def test_activity_kernel_cycles_per_second_on_4x4_mesh():
+    params = daelite_parameters(slot_table_size=16)
+    mesh = build_mesh(4, 4)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    dst = ni_name(3, 3)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "perf", "NI00", dst, forward_slots=2, reverse_slots=1
+        )
+    )
+    # The smoke test targets the fast path explicitly, independent of
+    # REPRO_KERNEL_MODE — naive-mode CI legs exercise correctness, not
+    # this throughput bound.
+    net = DaeliteNetwork(mesh, params, kernel_mode=ACTIVITY_MODE)
+    handle = net.configure(connection)
+    base = net.kernel.cycle
+    src_channel = handle.forward.src_channel
+    dst_channel = handle.forward.dst_channel
+    for start in range(0, RUN_CYCLES, 100):
+        net.kernel.at(
+            base + start,
+            lambda cycle: net.ni("NI00").submit_words(
+                src_channel, list(range(4))
+            ),
+        )
+        net.kernel.at(
+            base + start + 60,
+            lambda cycle: net.ni(dst).receive(dst_channel),
+        )
+    started = time.perf_counter()
+    net.run(RUN_CYCLES)
+    elapsed = time.perf_counter() - started
+    cycles_per_second = RUN_CYCLES / elapsed
+    # The workload genuinely ran (words flowed and gaps were skipped).
+    assert net.stats.delivered_words(f"NI00.ch{src_channel}") > 0
+    assert net.kernel.fast_forwarded_cycles > 0
+    assert cycles_per_second >= MIN_CYCLES_PER_SECOND, (
+        f"kernel throughput regressed: {cycles_per_second:,.0f} cycles/s "
+        f"< {MIN_CYCLES_PER_SECOND:,} on a 4x4 mesh"
+    )

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, StatsIntegrityError
 from repro.sim import StatsCollector, Word
 
 
@@ -84,3 +84,68 @@ class TestStatsCollector:
         assert stats.delivered_words("missing") == 0
         assert stats.injected_words("missing") == 0
         assert stats.latency("missing", 0) is None
+
+
+class TestIntegrityViolations:
+    """Impossible word lifecycles raise the dedicated error type and
+    leave the collector state untouched — a misdelivered word must never
+    overwrite or fabricate a record."""
+
+    def test_violations_raise_the_dedicated_error_type(self):
+        stats = StatsCollector()
+        with pytest.raises(StatsIntegrityError):
+            stats.record_ejection(w(0), 5, destination="NI1")
+        stats.record_injection(w(0), 1)
+        with pytest.raises(StatsIntegrityError):
+            stats.record_injection(w(0), 2)
+
+    def test_never_injected_ejection_message_is_actionable(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0, conn="live"), 0)
+        with pytest.raises(
+            StatsIntegrityError,
+            match=r"never injected.*known connections.*live",
+        ):
+            stats.record_ejection(
+                w(3, conn="ghost"), 9, destination="NI2"
+            )
+
+    def test_never_injected_ejection_leaves_state_unchanged(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_ejection(w(0), 6, destination="NI1")
+        before = (
+            dict(stats._records),
+            dict(stats._last_ejected),
+            {
+                label: (s.injected, s.ejected, list(s.latencies))
+                for label, s in stats.connections.items()
+            },
+        )
+        with pytest.raises(StatsIntegrityError):
+            stats.record_ejection(w(7), 9, destination="NI1")
+        after = (
+            dict(stats._records),
+            dict(stats._last_ejected),
+            {
+                label: (s.injected, s.ejected, list(s.latencies))
+                for label, s in stats.connections.items()
+            },
+        )
+        assert before == after
+        # The legitimate record survives intact.
+        assert stats.latency("c", 0) == 6
+
+    def test_out_of_order_rejection_leaves_order_marker_unchanged(self):
+        stats = StatsCollector()
+        stats.record_injection(w(0), 0)
+        stats.record_injection(w(1), 1)
+        stats.record_ejection(w(1), 8, destination="NI1")
+        with pytest.raises(StatsIntegrityError):
+            stats.record_ejection(w(0), 9, destination="NI1")
+        assert stats._last_ejected[("c", "NI1")] == 1
+        assert stats.connections["c"].ejected == 1
+
+    def test_integrity_error_is_a_simulation_error(self):
+        # Existing except-clauses catching SimulationError keep working.
+        assert issubclass(StatsIntegrityError, SimulationError)
