@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import sys
+from pathlib import Path
 from typing import Optional, Tuple
 
 from repro.alloc import ConnectionRequest, SlotAllocator
@@ -17,6 +21,29 @@ from repro.topology import Topology, build_mesh
 
 #: pytest option disabling the activity-driven fast path for a run.
 NO_FAST_PATH_OPTION = "--no-fast-path"
+
+#: Where machine-readable benchmark results land (repo root), so CI and
+#: scripts can pick them up with a stable name, independent of cwd.
+BENCH_RESULT_DIR = Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a benchmark result to ``BENCH_<name>.json`` in the repo
+    root and return the path.
+
+    The payload is augmented with the interpreter/platform the numbers
+    were taken on, so results from different machines are never compared
+    blindly.
+    """
+    record = {
+        "benchmark": name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        **payload,
+    }
+    path = BENCH_RESULT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def add_no_fast_path_option(parser) -> None:

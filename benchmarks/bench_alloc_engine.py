@@ -1,0 +1,163 @@
+"""Allocator-engine bench: bitmask ledger vs the dict reference.
+
+Fleet allocation is the design-time hot loop — the dimensioning search
+re-allocates every use case for every candidate platform.  This bench
+loads an 8x8 mesh (T=32) with 220 random connection requests and times
+the whole fleet allocation under both ledger engines, interleaving the
+engines round-robin so machine noise hits both equally; the speedup is
+taken from each engine's best round.
+
+Results land in ``BENCH_alloc.json`` at the repo root (machine-readable:
+wall time, ops/s, speedup, per-engine breakdown).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from _helpers import write_bench_json
+
+from repro.alloc import (
+    BITMASK_ENGINE,
+    REFERENCE_ENGINE,
+    ConnectionRequest,
+    SlotAllocator,
+)
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh, ni_name
+
+MESH_SIDE = 8
+SLOT_TABLE_SIZE = 32
+CONNECTIONS = 220
+FORWARD_SLOTS = 8
+REVERSE_SLOTS = 2
+ROUNDS = 9
+#: Required fleet-allocation speedup of the bitmask engine.
+SPEEDUP_FLOOR = 5.0
+
+
+def _requests(seed: int = 7):
+    rng = random.Random(seed)
+    names = [
+        ni_name(x, y)
+        for x in range(MESH_SIDE)
+        for y in range(MESH_SIDE)
+    ]
+    requests = []
+    for index in range(CONNECTIONS):
+        src, dst = rng.sample(names, 2)
+        requests.append(
+            ConnectionRequest(
+                f"c{index}",
+                src,
+                dst,
+                forward_slots=FORWARD_SLOTS,
+                reverse_slots=REVERSE_SLOTS,
+            )
+        )
+    return requests
+
+
+def _allocate_fleet(topology, params, engine, requests):
+    """Allocate the whole fleet on a fresh ledger; returns (wall s, ok)."""
+    allocator = SlotAllocator(
+        topology=topology, params=params, routing="xy", engine=engine
+    )
+    allocate = allocator.allocate_connection
+    started = time.perf_counter()
+    ok = 0
+    for request in requests:
+        try:
+            allocate(request)
+        except AllocationError:
+            continue
+        ok += 1
+    return time.perf_counter() - started, ok
+
+
+def measure_engines():
+    topology = build_mesh(MESH_SIDE, MESH_SIDE)
+    params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+    requests = _requests()
+    for request in requests:
+        request.forward, request.reverse  # pre-build the channel specs
+    engines = (BITMASK_ENGINE, REFERENCE_ENGINE)
+    walls = {engine: [] for engine in engines}
+    allocated = {}
+    for engine in engines:  # warm-up: route cache, dict sizing, JIT-ish
+        _allocate_fleet(topology, params, engine, requests)
+    for round_index in range(ROUNDS):
+        # Alternate which engine goes first so drift (thermal, noisy
+        # neighbours) averages out instead of biasing one engine.
+        order = engines if round_index % 2 == 0 else engines[::-1]
+        for engine in order:
+            wall, ok = _allocate_fleet(topology, params, engine, requests)
+            walls[engine].append(wall)
+            allocated[engine] = ok
+    return walls, allocated
+
+
+def test_bitmask_engine_fleet_allocation_speedup(benchmark):
+    walls, allocated = benchmark.pedantic(
+        measure_engines, rounds=1, iterations=1
+    )
+    # Both engines must make identical admission decisions; the
+    # differential property suite checks slot-for-slot equality.
+    assert allocated[BITMASK_ENGINE] == allocated[REFERENCE_ENGINE]
+    assert allocated[BITMASK_ENGINE] > 0
+
+    results = {}
+    for engine, times in walls.items():
+        best = min(times)
+        results[engine] = {
+            "wall_s_best": best,
+            "wall_s_median": statistics.median(times),
+            "connection_requests_per_s": CONNECTIONS / best,
+            "connections_allocated": allocated[engine],
+        }
+    speedup_best = (
+        results[REFERENCE_ENGINE]["wall_s_best"]
+        / results[BITMASK_ENGINE]["wall_s_best"]
+    )
+    speedup_median = (
+        results[REFERENCE_ENGINE]["wall_s_median"]
+        / results[BITMASK_ENGINE]["wall_s_median"]
+    )
+    path = write_bench_json(
+        "alloc",
+        {
+            "engine": BITMASK_ENGINE,
+            "baseline": REFERENCE_ENGINE,
+            "mesh": f"{MESH_SIDE}x{MESH_SIDE}",
+            "slot_table_size": SLOT_TABLE_SIZE,
+            "connection_requests": CONNECTIONS,
+            "forward_slots": FORWARD_SLOTS,
+            "reverse_slots": REVERSE_SLOTS,
+            "rounds": ROUNDS,
+            "results": results,
+            "speedup_best": speedup_best,
+            "speedup_median": speedup_median,
+        },
+    )
+    print(
+        f"\nALLOC ENGINES — {CONNECTIONS} connections, "
+        f"{MESH_SIDE}x{MESH_SIDE} mesh, T={SLOT_TABLE_SIZE}"
+    )
+    for engine in (REFERENCE_ENGINE, BITMASK_ENGINE):
+        row = results[engine]
+        print(
+            f"  {engine:>9}: best {row['wall_s_best'] * 1e3:7.2f} ms  "
+            f"median {row['wall_s_median'] * 1e3:7.2f} ms  "
+            f"{row['connection_requests_per_s']:8.0f} req/s"
+        )
+    print(
+        f"  speedup: {speedup_best:.2f}x (best), "
+        f"{speedup_median:.2f}x (median) -> {path.name}"
+    )
+    assert speedup_best >= SPEEDUP_FLOOR, (
+        f"bitmask engine only {speedup_best:.2f}x over reference "
+        f"(target >= {SPEEDUP_FLOOR}x)"
+    )

@@ -11,6 +11,9 @@ from .multipath import (
     release_multipath,
 )
 from .pathfind import (
+    cached_k_shortest_paths,
+    cached_route,
+    clear_route_cache,
     k_shortest_paths,
     path_via_tree,
     shortest_path,
@@ -22,7 +25,16 @@ from .serialize import (
     schedule_from_json,
     schedule_to_json,
 )
-from .slot_alloc import LinkSlotLedger, SlotAllocator
+from .slot_alloc import (
+    ALLOC_ENGINE_ENV,
+    BITMASK_ENGINE,
+    REFERENCE_ENGINE,
+    BitmaskLinkSlotLedger,
+    LinkSlotLedger,
+    SlotAllocator,
+    default_alloc_engine,
+    make_ledger,
+)
 from .spec import (
     AllocatedChannel,
     broadcast_request,
@@ -46,6 +58,9 @@ __all__ = [
     "MultipathAllocation",
     "allocate_multipath",
     "release_multipath",
+    "cached_k_shortest_paths",
+    "cached_route",
+    "clear_route_cache",
     "k_shortest_paths",
     "path_via_tree",
     "shortest_path",
@@ -54,8 +69,14 @@ __all__ = [
     "allocation_to_dict",
     "schedule_from_json",
     "schedule_to_json",
+    "ALLOC_ENGINE_ENV",
+    "BITMASK_ENGINE",
+    "REFERENCE_ENGINE",
+    "BitmaskLinkSlotLedger",
     "LinkSlotLedger",
     "SlotAllocator",
+    "default_alloc_engine",
+    "make_ledger",
     "AllocatedChannel",
     "broadcast_request",
     "AllocatedConnection",

@@ -13,6 +13,8 @@ logical names to NI names when the caller wants control.
 
 from __future__ import annotations
 
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,6 +27,7 @@ from ..analysis.area import (
 from ..errors import AllocationError, ParameterError
 from ..params import NetworkParameters, daelite_parameters
 from ..topology import Topology, build_mesh
+from ..topology.mesh import ni_name as mesh_ni_name
 from .slot_alloc import SlotAllocator
 from .spec import ConnectionRequest, MulticastRequest
 from .usecase import UseCase
@@ -97,15 +100,31 @@ def _fits(
     params: NetworkParameters,
     spec: PlatformSpec,
     placement: Dict[str, str],
+    engine: Optional[str] = None,
 ) -> bool:
     for usecase in spec.usecases:
-        allocator = SlotAllocator(topology=topology, params=params)
+        allocator = SlotAllocator(
+            topology=topology, params=params, engine=engine
+        )
         try:
             for request in _bind(usecase, placement).connections:
                 allocator.allocate_connection(request)
         except AllocationError:
             return False
     return True
+
+
+def _evaluate_candidate(payload) -> bool:
+    """Feasibility of one (mesh, T, placement) point.
+
+    Module-level (and argument-packed) so a ``ProcessPoolExecutor`` can
+    pickle it; each worker rebuilds its own mesh, which keeps candidate
+    evaluations fully independent.
+    """
+    width, height, params, spec, placement, engine = payload
+    return _fits(
+        build_mesh(width, height), params, spec, placement, engine
+    )
 
 
 def _platform_cost(
@@ -124,23 +143,23 @@ def _platform_cost(
     )
 
 
-def dimension_platform(
+def _search_points(
     spec: PlatformSpec,
-    max_side: int = 5,
-    slot_table_sizes: Sequence[int] = (8, 16, 32),
-    placement: Optional[Dict[str, str]] = None,
-    base_params: Optional[NetworkParameters] = None,
-) -> DimensioningResult:
-    """Find the cheapest (mesh, T) combination that fits ``spec``.
-
-    Candidates are tried in increasing estimated-area order; the first
-    one whose every use case allocates wins.  With ``placement`` the
-    caller pins IPs to NIs; otherwise IPs are placed in raster order.
+    max_side: int,
+    slot_table_sizes: Sequence[int],
+    placement: Optional[Dict[str, str]],
+    base: NetworkParameters,
+) -> List[Tuple[float, int, int, NetworkParameters, Dict[str, str]]]:
+    """All viable (cost, mesh, T, placement) points in cost order.
 
     Raises:
-        AllocationError: if nothing within the search space fits.
+        ParameterError: if an explicit ``placement`` does not cover
+            exactly the spec's IPs.
     """
-    base = base_params or daelite_parameters()
+    if placement is not None and set(placement) != set(spec.ips):
+        raise ParameterError(
+            "placement must cover exactly the spec's IPs"
+        )
     candidates: List[Tuple[float, int, int, NetworkParameters]] = []
     for side_area in range(1, max_side * max_side + 1):
         for width in range(1, max_side + 1):
@@ -166,28 +185,138 @@ def dimension_platform(
                     )
                 )
     candidates.sort(key=lambda item: item[0])
+    points: List[
+        Tuple[float, int, int, NetworkParameters, Dict[str, str]]
+    ] = []
     for cost, width, height, params in candidates:
-        topology = build_mesh(width, height)
-        ni_names = [element.name for element in topology.nis]
-        chosen_placement = placement or {
-            ip: ni_names[index] for index, ip in enumerate(spec.ips)
-        }
+        # Same raster order build_mesh inserts NIs in (x-major).
+        ni_names = [
+            mesh_ni_name(x, y)
+            for x in range(width)
+            for y in range(height)
+        ]
         if placement is not None:
-            if set(placement) != set(spec.ips):
-                raise ParameterError(
-                    "placement must cover exactly the spec's IPs"
-                )
             if not set(placement.values()) <= set(ni_names):
                 continue  # placement needs a bigger mesh
-        if _fits(topology, params, spec, chosen_placement):
+            chosen = placement
+        else:
+            chosen = {
+                ip: ni_names[index]
+                for index, ip in enumerate(spec.ips)
+            }
+        points.append((cost, width, height, params, chosen))
+    return points
+
+
+def dimension_platform(
+    spec: PlatformSpec,
+    max_side: int = 5,
+    slot_table_sizes: Sequence[int] = (8, 16, 32),
+    placement: Optional[Dict[str, str]] = None,
+    base_params: Optional[NetworkParameters] = None,
+    max_workers: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> DimensioningResult:
+    """Find the cheapest (mesh, T) combination that fits ``spec``.
+
+    Candidates are tried in increasing estimated-area order; the first
+    one whose every use case allocates wins.  With ``placement`` the
+    caller pins IPs to NIs; otherwise IPs are placed in raster order.
+
+    ``max_workers > 1`` evaluates candidates on a process pool: a
+    sliding window of the next-cheapest points runs concurrently while
+    results are consumed strictly in cost order, so the answer is
+    identical to the serial search and the pool short-circuits (pending
+    evaluations are cancelled) at the cheapest feasible point.
+    ``engine`` pins the allocator's ledger engine for every evaluation.
+
+    Raises:
+        AllocationError: if nothing within the search space fits.
+    """
+    base = base_params or daelite_parameters()
+    points = _search_points(
+        spec, max_side, slot_table_sizes, placement, base
+    )
+    no_fit = AllocationError(
+        f"no mesh up to {max_side}x{max_side} with T in "
+        f"{tuple(slot_table_sizes)} fits the platform spec"
+    )
+    if max_workers is not None and max_workers > 1 and len(points) > 1:
+        try:
+            return _search_parallel(
+                spec, points, engine, max_workers, no_fit
+            )
+        except (OSError, PermissionError):
+            pass  # no process support here; fall through to serial
+    for cost, width, height, params, chosen in points:
+        if _fits(
+            build_mesh(width, height), params, spec, chosen, engine
+        ):
             return DimensioningResult(
                 width=width,
                 height=height,
                 params=params,
-                placement=chosen_placement,
+                placement=chosen,
                 area_ge=cost,
             )
-    raise AllocationError(
-        f"no mesh up to {max_side}x{max_side} with T in "
-        f"{tuple(slot_table_sizes)} fits the platform spec"
-    )
+    raise no_fit
+
+
+def _search_parallel(
+    spec: PlatformSpec,
+    points: Sequence[
+        Tuple[float, int, int, NetworkParameters, Dict[str, str]]
+    ],
+    engine: Optional[str],
+    max_workers: int,
+    no_fit: AllocationError,
+) -> DimensioningResult:
+    """Cost-ordered candidate evaluation over a process pool."""
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        window: deque = deque()
+        pending = iter(points)
+        exhausted = False
+
+        def top_up() -> None:
+            nonlocal exhausted
+            while not exhausted and len(window) < 2 * max_workers:
+                try:
+                    point = next(pending)
+                except StopIteration:
+                    exhausted = True
+                    return
+                cost, width, height, params, chosen = point
+                window.append(
+                    (
+                        point,
+                        pool.submit(
+                            _evaluate_candidate,
+                            (
+                                width,
+                                height,
+                                params,
+                                spec,
+                                chosen,
+                                engine,
+                            ),
+                        ),
+                    )
+                )
+
+        top_up()
+        while window:
+            point, future = window.popleft()
+            feasible = future.result()
+            if feasible:
+                for _, queued in window:
+                    queued.cancel()
+                cost, width, height, params, chosen = point
+                return DimensioningResult(
+                    width=width,
+                    height=height,
+                    params=params,
+                    placement=chosen,
+                    area_ge=cost,
+                )
+            top_up()
+    raise no_fit

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..errors import AllocationError
-from .pathfind import k_shortest_paths
+from .pathfind import cached_k_shortest_paths
 from .slot_alloc import SlotAllocator
 from .spec import AllocatedChannel, ChannelRequest
 
@@ -55,17 +55,19 @@ def allocate_multipath(
     """Allocate ``request`` over up to ``max_paths`` simple paths.
 
     Slots are taken greedily: as many as possible on the shortest path,
-    the remainder on the next path, and so on.  Partial claims are rolled
-    back if the request cannot be met in full.
+    the remainder on the next path, and so on.  The whole attempt runs
+    inside one ledger snapshot, so partial claims are rolled back in a
+    single operation if the request cannot be met in full.
 
     Raises:
         AllocationError: if even the union of paths lacks capacity.
     """
-    paths = k_shortest_paths(
+    paths = cached_k_shortest_paths(
         allocator.topology, request.src_ni, request.dst_ni, max_paths
     )
     remaining = request.slots
     parts: List[AllocatedChannel] = []
+    token = allocator.ledger.snapshot()
     try:
         for index, path in enumerate(paths):
             if remaining == 0:
@@ -90,12 +92,12 @@ def allocate_multipath(
         # the allocation; roll back and report failure below.
         pass
     if remaining > 0:
-        for part in parts:
-            allocator.release_channel(part)
+        allocator.ledger.rollback(token)
         raise AllocationError(
             f"multipath channel {request.label!r}: {remaining} of "
             f"{request.slots} slots unplaceable over {len(paths)} paths"
         )
+    allocator.ledger.commit(token)
     return MultipathAllocation(label=request.label, parts=tuple(parts))
 
 

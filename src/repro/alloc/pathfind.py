@@ -10,7 +10,8 @@ simple paths for the multipath allocator.
 from __future__ import annotations
 
 from itertools import islice
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 import networkx as nx
 
@@ -103,6 +104,74 @@ def k_shortest_paths(
         return [tuple(path) for path in islice(generator, k)]
     except nx.NetworkXNoPath:
         raise RoutingError(f"no path {src_ni!r} -> {dst_ni!r}") from None
+
+
+# -- route caching -------------------------------------------------------------
+#
+# Routing is a pure function of the (immutable-once-built) topology and
+# the endpoint pair, yet the allocator historically recomputed it per
+# request — on big meshes that BFS dominated connection set-up.  Routes
+# are memoized per topology object (weakly referenced, so caches die
+# with their topology) and validated against the topology's structural
+# ``version``, which every ``add_*``/``connect`` bumps.
+
+_ROUTE_CACHES: "WeakKeyDictionary[Topology, Tuple[int, Dict]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _route_cache(topology: Topology) -> Dict:
+    """The (version-checked) route memo of one topology."""
+    version = getattr(topology, "version", None)
+    cached = _ROUTE_CACHES.get(topology)
+    if cached is None or cached[0] != version:
+        cached = (version, {})
+        _ROUTE_CACHES[topology] = cached
+    return cached[1]
+
+
+def clear_route_cache(topology: Optional[Topology] = None) -> None:
+    """Drop memoized routes for ``topology`` (or for every topology)."""
+    if topology is None:
+        _ROUTE_CACHES.clear()
+    else:
+        _ROUTE_CACHES.pop(topology, None)
+
+
+def cached_route(
+    topology: Topology, routing: str, src_ni: str, dst_ni: str
+) -> Tuple[str, ...]:
+    """Memoized :func:`xy_path` / :func:`shortest_path`.
+
+    Raises:
+        RoutingError: on an unknown routing policy, or whatever the
+            underlying router raises (failures are not cached).
+    """
+    routes = _route_cache(topology)
+    key = (routing, src_ni, dst_ni)
+    path = routes.get(key)
+    if path is None:
+        if routing == "xy":
+            path = xy_path(topology, src_ni, dst_ni)
+        elif routing == "shortest":
+            path = shortest_path(topology, src_ni, dst_ni)
+        else:
+            raise RoutingError(f"unknown routing {routing!r}")
+        routes[key] = path
+    return path
+
+
+def cached_k_shortest_paths(
+    topology: Topology, src_ni: str, dst_ni: str, k: int
+) -> List[Tuple[str, ...]]:
+    """Memoized :func:`k_shortest_paths` (keyed also on ``k``)."""
+    routes = _route_cache(topology)
+    key = ("ksp", src_ni, dst_ni, k)
+    paths = routes.get(key)
+    if paths is None:
+        paths = k_shortest_paths(topology, src_ni, dst_ni, k)
+        routes[key] = paths
+    return list(paths)
 
 
 def path_via_tree(

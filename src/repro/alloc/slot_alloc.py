@@ -9,20 +9,41 @@ the *k*-th link of its path, so a base slot is admissible only if that
 whole diagonal of claims is free — the classical slot-alignment constraint
 of contention-free routing.
 
+Two ledger *engines* implement that book-keeping:
+
+* ``reference`` — :class:`LinkSlotLedger`, a dict-of-dicts probed slot by
+  slot.  Simple, obviously correct, kept as the semantic baseline
+  (mirroring the simulator's naive kernel mode).
+* ``bitmask`` — :class:`BitmaskLinkSlotLedger`, which keeps each directed
+  link's occupancy as a single integer.  The admissible-set computation
+  becomes one cyclic rotation and OR per link of the path (O(path
+  length) word operations instead of O(T x path length) dict probes),
+  claiming a whole channel is one rotated-mask OR per link, and
+  speculative allocation uses an O(1) snapshot with journalled rollback
+  instead of claim-then-unwind.
+
+The engine is chosen per :class:`SlotAllocator` (``engine=...``) or
+globally via the ``REPRO_ALLOC_ENGINE`` environment variable; both
+engines allocate *identically* (same admissible sets, same picked slots,
+same errors), which the differential property tests in
+``tests/properties/test_alloc_engine_equiv.py`` enforce.
+
 Two slot-picking policies are offered: ``first`` (lowest admissible
-slots — compact) and ``spread`` (maximize spacing — minimizes the worst
-scheduling wait, see :mod:`repro.analysis.bounds`).
+slots — compact) and ``spread`` (maximize spacing over the wheel — it
+minimizes the worst scheduling wait, see :mod:`repro.analysis.bounds`).
 """
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import AllocationError, SlotConflictError
 from ..params import NetworkParameters
 from ..topology import Topology
-from .pathfind import path_via_tree, shortest_path, xy_path
+from .pathfind import cached_route, path_via_tree
 from .spec import (
     AllocatedChannel,
     AllocatedConnection,
@@ -32,13 +53,65 @@ from .spec import (
     MulticastRequest,
 )
 
+#: Environment variable selecting the default ledger engine.
+ALLOC_ENGINE_ENV = "REPRO_ALLOC_ENGINE"
+#: Bitmask occupancy engine (rotate-and-OR admissibility, batched
+#: per-link claims, journalled snapshot/rollback).
+BITMASK_ENGINE = "bitmask"
+#: Reference engine: per-slot dict probes, the semantic baseline.
+REFERENCE_ENGINE = "reference"
+
+_ENGINES = (BITMASK_ENGINE, REFERENCE_ENGINE)
+
+# Journal operation tags (see LinkSlotLedger.snapshot).
+_OP_CLAIM_SLOT = "slot+"
+_OP_RELEASE_SLOT = "slot-"
+_OP_CLAIM_MASK = "mask+"
+_OP_RELEASE_MASK = "mask-"
+
+
+def default_alloc_engine() -> str:
+    """Ledger engine from ``REPRO_ALLOC_ENGINE`` (``bitmask`` when unset).
+
+    Raises:
+        AllocationError: if the variable holds an unknown engine.
+    """
+    engine = os.environ.get(ALLOC_ENGINE_ENV, BITMASK_ENGINE)
+    engine = engine.strip().lower()
+    if engine not in _ENGINES:
+        raise AllocationError(
+            f"{ALLOC_ENGINE_ENV}={engine!r} is not one of {_ENGINES}"
+        )
+    return engine
+
+
+def iter_mask_slots(mask: int) -> Iterator[int]:
+    """Slot numbers of the set bits of ``mask``, in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
 
 class LinkSlotLedger:
-    """Book-keeping of which connection owns each (link, slot) pair."""
+    """Book-keeping of which connection owns each (link, slot) pair.
+
+    This is the *reference* engine: every query walks the per-edge slot
+    dict.  The batched mask operations and the journalled
+    snapshot/rollback machinery are engine-agnostic (they decompose into
+    the per-slot primitives), so subclasses only override the hot paths.
+    """
+
+    engine = REFERENCE_ENGINE
 
     def __init__(self, slot_table_size: int) -> None:
         self.slot_table_size = slot_table_size
         self._claims: Dict[Tuple[str, str], Dict[int, str]] = {}
+        # Undo journal for speculative allocation, appended only while a
+        # snapshot is outstanding; entries are (op, edge, slot-or-mask,
+        # label) and record exactly the state delta to reverse.
+        self._journal: List[Tuple[str, Tuple[str, str], int, str]] = []
+        self._snapshots = 0
 
     def owner(self, edge: Tuple[str, str], slot: int) -> Optional[str]:
         """Label owning ``slot`` on ``edge``, or ``None``."""
@@ -46,6 +119,24 @@ class LinkSlotLedger:
 
     def is_free(self, edge: Tuple[str, str], slot: int) -> bool:
         return self.owner(edge, slot) is None
+
+    # -- write hooks (subclasses keep auxiliary state in sync here) ------------
+
+    def _set(self, edge: Tuple[str, str], slot: int, label: str) -> None:
+        """Record ``label``'s ownership of a (known-compatible) slot."""
+        self._claims.setdefault(edge, {})[slot] = label
+
+    def _clear(self, edge: Tuple[str, str], slot: int, label: str) -> None:
+        """Forget ``label``'s (known-held) claim of one slot."""
+        slots = self._claims[edge]
+        del slots[slot]
+        if not slots:
+            # Drop the edge key with its last slot; otherwise empty
+            # per-edge dicts accumulate without bound across use-case
+            # switches and pollute any iteration over claimed edges.
+            del self._claims[edge]
+
+    # -- claims ----------------------------------------------------------------
 
     def claim(
         self, edge: Tuple[str, str], slot: int, label: str
@@ -57,12 +148,16 @@ class LinkSlotLedger:
         """
         slot %= self.slot_table_size
         owner = self.owner(edge, slot)
-        if owner is not None and owner != label:
-            raise SlotConflictError(
-                f"link {edge} slot {slot} owned by {owner!r}; "
-                f"cannot claim for {label!r}"
-            )
-        self._claims.setdefault(edge, {})[slot] = label
+        if owner is not None:
+            if owner != label:
+                raise SlotConflictError(
+                    f"link {edge} slot {slot} owned by {owner!r}; "
+                    f"cannot claim for {label!r}"
+                )
+            return  # re-claim by the same label: no state change
+        if self._snapshots:
+            self._journal.append((_OP_CLAIM_SLOT, edge, slot, label))
+        self._set(edge, slot, label)
 
     def release(self, edge: Tuple[str, str], slot: int, label: str) -> None:
         """Release one claim.
@@ -77,7 +172,193 @@ class LinkSlotLedger:
                 f"link {edge} slot {slot} owned by {owner!r}, not "
                 f"{label!r}; cannot release"
             )
-        del self._claims[edge][slot]
+        if self._snapshots:
+            self._journal.append((_OP_RELEASE_SLOT, edge, slot, label))
+        self._clear(edge, slot, label)
+
+    def claim_edge_mask(
+        self, edge: Tuple[str, str], mask: int, label: str
+    ) -> None:
+        """Claim every slot in the bitmask ``mask`` on one link.
+
+        Atomic per edge: the mask is validated in full (lowest
+        conflicting slot reported) before any slot is claimed, matching
+        the bitmask engine's all-or-nothing behaviour.
+
+        Raises:
+            SlotConflictError: as :meth:`claim`.
+        """
+        for slot in iter_mask_slots(mask):
+            owner = self.owner(edge, slot)
+            if owner is not None and owner != label:
+                raise SlotConflictError(
+                    f"link {edge} slot {slot} owned by {owner!r}; "
+                    f"cannot claim for {label!r}"
+                )
+        for slot in iter_mask_slots(mask):
+            self.claim(edge, slot, label)
+
+    def release_edge_mask(
+        self, edge: Tuple[str, str], mask: int, label: str
+    ) -> None:
+        """Release every slot in the bitmask ``mask`` on one link.
+
+        Atomic per edge, like :meth:`claim_edge_mask`.
+
+        Raises:
+            SlotConflictError: as :meth:`release`.
+        """
+        for slot in iter_mask_slots(mask):
+            owner = self.owner(edge, slot)
+            if owner != label:
+                raise SlotConflictError(
+                    f"link {edge} slot {slot} owned by {owner!r}, not "
+                    f"{label!r}; cannot release"
+                )
+        for slot in iter_mask_slots(mask):
+            self.release(edge, slot, label)
+
+    def claim_rotations(
+        self,
+        diagonal: Sequence[Tuple[Tuple[str, str], int]],
+        base_mask: int,
+        label: str,
+    ) -> None:
+        """Claim a whole channel: ``base_mask`` rotated along ``diagonal``.
+
+        For every ``(edge, offset)`` pair, the base-slot bitmask rotated
+        left by ``offset`` is claimed on ``edge`` — exactly the claims
+        :meth:`~repro.alloc.spec.AllocatedChannel.link_claims`
+        enumerates, applied atomically: on conflict everything already
+        claimed here is rolled back before the error propagates.
+
+        Raises:
+            SlotConflictError: as :meth:`claim`.
+        """
+        size = self.slot_table_size
+        full = (1 << size) - 1
+        token = self.snapshot()
+        try:
+            for edge, offset in diagonal:
+                shift = offset % size
+                self.claim_edge_mask(
+                    edge,
+                    ((base_mask << shift) | (base_mask >> (size - shift)))
+                    & full,
+                    label,
+                )
+        except SlotConflictError:
+            self.rollback(token)
+            raise
+        self.commit(token)
+
+    def release_rotations(
+        self,
+        diagonal: Sequence[Tuple[Tuple[str, str], int]],
+        base_mask: int,
+        label: str,
+    ) -> None:
+        """Release a whole channel claimed via :meth:`claim_rotations`.
+
+        Raises:
+            SlotConflictError: as :meth:`release`.
+        """
+        size = self.slot_table_size
+        full = (1 << size) - 1
+        for edge, offset in diagonal:
+            shift = offset % size
+            self.release_edge_mask(
+                edge,
+                ((base_mask << shift) | (base_mask >> (size - shift)))
+                & full,
+                label,
+            )
+
+    def probe_rotations(
+        self, diagonal: Sequence[Tuple[Tuple[str, str], int]]
+    ):
+        """Admissibility probe returning a reusable claim context.
+
+        Returns ``(admissible mask, context)`` where the context passed
+        to :meth:`claim_prepared` lets an engine reuse work done during
+        the probe (the bitmask engine reuses its per-link entry
+        lookups).  The context is only valid until the next ledger
+        mutation: probe, pick, claim — nothing in between.
+        """
+        return self.admissible_base_mask(diagonal), diagonal
+
+    def claim_prepared(self, context, base_mask: int, label: str) -> None:
+        """Claim a channel using a context from :meth:`probe_rotations`.
+
+        Raises:
+            SlotConflictError: as :meth:`claim`.
+        """
+        self.claim_rotations(context, base_mask, label)
+
+    # -- speculative allocation ------------------------------------------------
+
+    def snapshot(self) -> int:
+        """Open a speculation scope; O(1).
+
+        Every ``claim``/``release`` until the matching :meth:`rollback`
+        or :meth:`commit` is journalled.  Scopes nest: an inner rollback
+        undoes only the inner scope's writes.
+        """
+        self._snapshots += 1
+        return len(self._journal)
+
+    def rollback(self, token: int) -> None:
+        """Undo every write since ``snapshot`` returned ``token``."""
+        while len(self._journal) > token:
+            op, edge, value, label = self._journal.pop()
+            if op == _OP_CLAIM_SLOT:
+                self._clear(edge, value, label)
+            elif op == _OP_RELEASE_SLOT:
+                self._set(edge, value, label)
+            elif op == _OP_CLAIM_MASK:
+                for slot in iter_mask_slots(value):
+                    self._clear(edge, slot, label)
+            elif op == _OP_RELEASE_MASK:
+                for slot in iter_mask_slots(value):
+                    self._set(edge, slot, label)
+            else:  # pragma: no cover - internal invariant
+                raise AllocationError(f"corrupt journal op {op!r}")
+        self._close_scope()
+
+    def commit(self, token: int) -> None:
+        """Keep every write since ``snapshot`` returned ``token``."""
+        del token
+        self._close_scope()
+
+    def _close_scope(self) -> None:
+        if self._snapshots <= 0:
+            raise AllocationError(
+                "ledger snapshot underflow: rollback/commit without "
+                "a matching snapshot"
+            )
+        self._snapshots -= 1
+        if self._snapshots == 0:
+            self._journal.clear()
+
+    # -- queries ---------------------------------------------------------------
+
+    def admissible_base_mask(
+        self, diagonal: Sequence[Tuple[Tuple[str, str], int]]
+    ) -> int:
+        """Bitmask of base slots free across the whole claim ``diagonal``.
+
+        ``diagonal`` holds one ``(edge, offset)`` pair per path link: base
+        slot *b* is admissible iff slot ``(b + offset) mod T`` is free on
+        every edge.  Bit *b* of the result is set iff *b* is admissible.
+        """
+        mask = 0
+        for base in range(self.slot_table_size):
+            if all(
+                self.is_free(edge, base + offset)
+                for edge, offset in diagonal
+            ):
+                mask |= 1 << base
+        return mask
 
     def link_utilization(self, edge: Tuple[str, str]) -> float:
         """Fraction of slots claimed on one directed link."""
@@ -86,18 +367,411 @@ class LinkSlotLedger:
     def total_claims(self) -> int:
         return sum(len(slots) for slots in self._claims.values())
 
+    def claimed_edges(self) -> List[Tuple[str, str]]:
+        """Directed links currently carrying at least one claim."""
+        return sorted(self._claims)
+
+
+class BitmaskLinkSlotLedger(LinkSlotLedger):
+    """Bitmask engine: per-link occupancy as a single integer.
+
+    ``_links[edge]`` is a two-element list ``[occupancy, labels]``: bit
+    *s* of ``occupancy`` is set iff slot *s* is claimed on ``edge``, and
+    ``labels`` maps each owning label to its bitmask of slots (ownership
+    diagnostics are per-label scans, off the hot path).  Both live in one
+    entry so the hot paths hash each edge tuple exactly once.
+    Admissibility is a rotate-and-OR per path link, and claiming or
+    releasing a channel's slots on one link is a single mask operation.
+    """
+
+    engine = BITMASK_ENGINE
+
+    def __init__(self, slot_table_size: int) -> None:
+        super().__init__(slot_table_size)
+        self._links: Dict[Tuple[str, str], List] = {}
+        self._full_mask = (1 << slot_table_size) - 1
+        del self._claims  # the reference structure is never maintained
+
+    def owner(self, edge: Tuple[str, str], slot: int) -> Optional[str]:
+        entry = self._links.get(edge)
+        if entry is None:
+            return None
+        bit = 1 << (slot % self.slot_table_size)
+        if not entry[0] & bit:
+            return None
+        for label, mask in entry[1].items():
+            if mask & bit:
+                return label
+        return None  # pragma: no cover - occupancy/labels kept in sync
+
+    def is_free(self, edge: Tuple[str, str], slot: int) -> bool:
+        entry = self._links.get(edge)
+        return entry is None or not (
+            entry[0] >> (slot % self.slot_table_size)
+        ) & 1
+
+    def occupancy_mask(self, edge: Tuple[str, str]) -> int:
+        """The raw slot-occupancy bitmask of one directed link."""
+        entry = self._links.get(edge)
+        return 0 if entry is None else entry[0]
+
+    def _set(self, edge: Tuple[str, str], slot: int, label: str) -> None:
+        bit = 1 << slot
+        entry = self._links.get(edge)
+        if entry is None:
+            self._links[edge] = [bit, {label: bit}]
+            return
+        entry[0] |= bit
+        labels = entry[1]
+        labels[label] = labels.get(label, 0) | bit
+
+    def _clear(self, edge: Tuple[str, str], slot: int, label: str) -> None:
+        bit = 1 << slot
+        entry = self._links[edge]
+        remaining = entry[0] & ~bit
+        if not remaining:
+            del self._links[edge]
+            return
+        entry[0] = remaining
+        labels = entry[1]
+        kept = labels[label] & ~bit
+        if kept:
+            labels[label] = kept
+        else:
+            del labels[label]
+
+    def claim(
+        self, edge: Tuple[str, str], slot: int, label: str
+    ) -> None:
+        slot %= self.slot_table_size
+        entry = self._links.get(edge)
+        if entry is not None and (entry[0] >> slot) & 1:
+            owner = self.owner(edge, slot)
+            if owner != label:
+                raise SlotConflictError(
+                    f"link {edge} slot {slot} owned by {owner!r}; "
+                    f"cannot claim for {label!r}"
+                )
+            return  # re-claim by the same label: no state change
+        if self._snapshots:
+            self._journal.append((_OP_CLAIM_SLOT, edge, slot, label))
+        self._set(edge, slot, label)
+
+    def claim_edge_mask(
+        self, edge: Tuple[str, str], mask: int, label: str
+    ) -> None:
+        entry = self._links.get(edge)
+        if entry is None:
+            if not mask:
+                return
+            if self._snapshots:
+                self._journal.append((_OP_CLAIM_MASK, edge, mask, label))
+            self._links[edge] = [mask, {label: mask}]
+            return
+        occupied = entry[0]
+        conflict = occupied & mask
+        if conflict:
+            labels = entry[1]
+            foreign = conflict & ~labels.get(label, 0)
+            if foreign:
+                slot = (foreign & -foreign).bit_length() - 1
+                owner = self.owner(edge, slot)
+                raise SlotConflictError(
+                    f"link {edge} slot {slot} owned by {owner!r}; "
+                    f"cannot claim for {label!r}"
+                )
+        fresh = mask & ~occupied
+        if not fresh:
+            return
+        if self._snapshots:
+            self._journal.append((_OP_CLAIM_MASK, edge, fresh, label))
+        entry[0] = occupied | fresh
+        labels = entry[1]
+        labels[label] = labels.get(label, 0) | fresh
+
+    def release_edge_mask(
+        self, edge: Tuple[str, str], mask: int, label: str
+    ) -> None:
+        entry = self._links.get(edge)
+        held = 0 if entry is None else entry[1].get(label, 0)
+        missing = mask & ~held
+        if missing:
+            slot = (missing & -missing).bit_length() - 1
+            owner = self.owner(edge, slot)
+            raise SlotConflictError(
+                f"link {edge} slot {slot} owned by {owner!r}, not "
+                f"{label!r}; cannot release"
+            )
+        if not mask:
+            return
+        if self._snapshots:
+            self._journal.append((_OP_RELEASE_MASK, edge, mask, label))
+        remaining = entry[0] & ~mask
+        if not remaining:
+            del self._links[edge]
+            return
+        entry[0] = remaining
+        kept = held & ~mask
+        if kept:
+            entry[1][label] = kept
+        else:
+            del entry[1][label]
+
+    def claim_rotations(
+        self,
+        diagonal: Sequence[Tuple[Tuple[str, str], int]],
+        base_mask: int,
+        label: str,
+    ) -> None:
+        # The allocation hot path: one loop iteration per path link,
+        # everything inlined (claim_edge_mask per edge would double the
+        # Python frames per channel), one edge hash per link, and an
+        # inlined snapshot()/commit() bracketing the whole channel so a
+        # mid-path conflict unwinds cleanly.
+        size = self.slot_table_size
+        full = self._full_mask
+        links = self._links
+        journal = self._journal
+        self._snapshots += 1
+        token = len(journal)
+        for edge, offset in diagonal:
+            shift = offset % size
+            mask = (
+                (base_mask << shift) | (base_mask >> (size - shift))
+            ) & full
+            entry = links.get(edge)
+            if entry is None:
+                journal.append((_OP_CLAIM_MASK, edge, mask, label))
+                links[edge] = [mask, {label: mask}]
+                continue
+            occupied = entry[0]
+            conflict = occupied & mask
+            if conflict:
+                labels = entry[1]
+                foreign = conflict & ~labels.get(label, 0)
+                if foreign:
+                    slot = (foreign & -foreign).bit_length() - 1
+                    owner = self.owner(edge, slot)
+                    self.rollback(token)
+                    raise SlotConflictError(
+                        f"link {edge} slot {slot} owned by {owner!r}; "
+                        f"cannot claim for {label!r}"
+                    )
+            fresh = mask & ~occupied
+            if fresh:
+                journal.append((_OP_CLAIM_MASK, edge, fresh, label))
+                entry[0] = occupied | fresh
+                labels = entry[1]
+                labels[label] = labels.get(label, 0) | fresh
+        self._snapshots -= 1
+        if self._snapshots == 0:
+            journal.clear()
+
+    def probe_rotations(
+        self, diagonal: Sequence[Tuple[Tuple[str, str], int]]
+    ):
+        # One pass computes the admissible mask AND captures each
+        # link's [occupancy, labels] entry, so claim_prepared never
+        # hashes the edge tuples again.
+        size = self.slot_table_size
+        full = self._full_mask
+        links = self._links
+        blocked = 0
+        prepared = []
+        append = prepared.append
+        for edge, offset in diagonal:
+            shift = offset % size
+            entry = links.get(edge)
+            append((edge, shift, entry))
+            if entry is not None and blocked != full:
+                occupied = entry[0]
+                blocked |= (
+                    (occupied >> shift) | (occupied << (size - shift))
+                ) & full
+        return full & ~blocked, prepared
+
+    def claim_prepared(self, context, base_mask: int, label: str) -> None:
+        size = self.slot_table_size
+        full = self._full_mask
+        links = self._links
+        journal = self._journal
+        self._snapshots += 1
+        token = len(journal)
+        for edge, shift, entry in context:
+            mask = (
+                (base_mask << shift) | (base_mask >> (size - shift))
+            ) & full
+            if entry is None:
+                # Re-check: an earlier link of this very channel may
+                # have created the entry (a path can revisit an edge).
+                entry = links.get(edge)
+                if entry is None:
+                    journal.append((_OP_CLAIM_MASK, edge, mask, label))
+                    links[edge] = [mask, {label: mask}]
+                    continue
+            occupied = entry[0]
+            conflict = occupied & mask
+            if conflict:
+                labels = entry[1]
+                foreign = conflict & ~labels.get(label, 0)
+                if foreign:
+                    slot = (foreign & -foreign).bit_length() - 1
+                    owner = self.owner(edge, slot)
+                    self.rollback(token)
+                    raise SlotConflictError(
+                        f"link {edge} slot {slot} owned by {owner!r}; "
+                        f"cannot claim for {label!r}"
+                    )
+            fresh = mask & ~occupied
+            if fresh:
+                journal.append((_OP_CLAIM_MASK, edge, fresh, label))
+                entry[0] = occupied | fresh
+                labels = entry[1]
+                labels[label] = labels.get(label, 0) | fresh
+        self._snapshots -= 1
+        if self._snapshots == 0:
+            journal.clear()
+
+    def rollback(self, token: int) -> None:
+        links = self._links
+        while len(self._journal) > token:
+            op, edge, value, label = self._journal.pop()
+            if op == _OP_CLAIM_SLOT:
+                self._clear(edge, value, label)
+            elif op == _OP_RELEASE_SLOT:
+                self._set(edge, value, label)
+            elif op == _OP_CLAIM_MASK:
+                # Reverse of the fresh-bit application in
+                # claim_edge_mask / claim_rotations.
+                entry = links[edge]
+                remaining = entry[0] & ~value
+                if not remaining:
+                    del links[edge]
+                    continue
+                entry[0] = remaining
+                labels = entry[1]
+                kept = labels[label] & ~value
+                if kept:
+                    labels[label] = kept
+                else:
+                    del labels[label]
+            elif op == _OP_RELEASE_MASK:
+                entry = links.get(edge)
+                if entry is None:
+                    links[edge] = [value, {label: value}]
+                else:
+                    entry[0] |= value
+                    labels = entry[1]
+                    labels[label] = labels.get(label, 0) | value
+            else:  # pragma: no cover - internal invariant
+                raise AllocationError(f"corrupt journal op {op!r}")
+        self._close_scope()
+
+    def admissible_base_mask(
+        self, diagonal: Sequence[Tuple[Tuple[str, str], int]]
+    ) -> int:
+        """Rotate-and-OR over the path's claim diagonal.
+
+        Base *b* collides on a link with offset *o* iff bit
+        ``(b + o) mod T`` of that link's occupancy is set — i.e. iff bit
+        *b* of the occupancy rotated right by *o* is set.  OR-ing the
+        rotated masks of every link gives all inadmissible bases at
+        once.
+        """
+        size = self.slot_table_size
+        full = self._full_mask
+        links = self._links
+        blocked = 0
+        for edge, offset in diagonal:
+            entry = links.get(edge)
+            if entry is not None:
+                occupied = entry[0]
+                shift = offset % size
+                blocked |= (
+                    (occupied >> shift) | (occupied << (size - shift))
+                ) & full
+                if blocked == full:
+                    break
+        return full & ~blocked
+
+    def link_utilization(self, edge: Tuple[str, str]) -> float:
+        return self.occupancy_mask(edge).bit_count() / self.slot_table_size
+
+    def total_claims(self) -> int:
+        return sum(
+            entry[0].bit_count() for entry in self._links.values()
+        )
+
+    def claimed_edges(self) -> List[Tuple[str, str]]:
+        return sorted(self._links)
+
+
+def make_ledger(
+    slot_table_size: int, engine: Optional[str] = None
+) -> LinkSlotLedger:
+    """Build a ledger of the requested (or environment-default) engine.
+
+    Raises:
+        AllocationError: on an unknown engine name.
+    """
+    resolved = (engine or default_alloc_engine()).strip().lower()
+    if resolved == REFERENCE_ENGINE:
+        return LinkSlotLedger(slot_table_size)
+    if resolved == BITMASK_ENGINE:
+        return BitmaskLinkSlotLedger(slot_table_size)
+    raise AllocationError(
+        f"unknown ledger engine {resolved!r}; expected one of {_ENGINES}"
+    )
+
 
 def _spread_pick(candidates: Sequence[int], count: int, size: int) -> List[int]:
-    """Pick ``count`` slots from ``candidates`` roughly evenly spaced."""
+    """Pick ``count`` slots from ``candidates``, spaced over the wheel.
+
+    Spacing is computed over actual slot positions modulo ``size`` (not
+    candidate-list indices): starting from the lowest candidate, each
+    subsequent pick is the free candidate cyclically closest to the ideal
+    equidistant position ``first + i * size / count`` (ties go to the
+    lower slot number).  This is the spacing the worst-case
+    scheduling-wait argument of :mod:`repro.analysis.bounds` assumes.
+    """
     ordered = sorted(candidates)
     if count >= len(ordered):
         return list(ordered)
-    picked: List[int] = []
-    stride = len(ordered) / count
-    for i in range(count):
-        index = int(i * stride)
-        picked.append(ordered[index])
-    return picked
+    first = ordered[0]
+    picked = [first]
+    available = ordered[1:]
+    for i in range(1, count):
+        target = (first + i * size / count) % size
+        # The cyclically-nearest available slot is one of the two
+        # sorted-order neighbours of the target position.
+        index = bisect_left(available, target)
+        length = len(available)
+        best = None
+        best_key = None
+        for neighbour in (
+            available[index % length],
+            available[index - 1],
+        ):
+            key = (
+                min(
+                    (neighbour - target) % size,
+                    (target - neighbour) % size,
+                ),
+                neighbour,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = neighbour
+        picked.append(best)
+        available.remove(best)
+    return sorted(picked)
+
+
+def _slot_mask(slots) -> int:
+    mask = 0
+    for slot in slots:
+        mask |= 1 << slot
+    return mask
 
 
 @dataclass
@@ -109,12 +783,15 @@ class SlotAllocator:
         params: Network parameters (for the wheel size T).
         routing: ``"xy"`` (meshes) or ``"shortest"``.
         policy: Slot-picking policy, ``"first"`` or ``"spread"``.
+        engine: Ledger engine, ``"bitmask"`` or ``"reference"``
+            (``None`` = the ``REPRO_ALLOC_ENGINE`` default).
     """
 
     topology: Topology
     params: NetworkParameters
     routing: str = "shortest"
     policy: str = "spread"
+    engine: Optional[str] = None
     ledger: LinkSlotLedger = field(init=False)
 
     def __post_init__(self) -> None:
@@ -122,14 +799,35 @@ class SlotAllocator:
             raise AllocationError(f"unknown routing {self.routing!r}")
         if self.policy not in ("first", "spread"):
             raise AllocationError(f"unknown policy {self.policy!r}")
-        self.ledger = LinkSlotLedger(self.params.slot_table_size)
+        self.ledger = make_ledger(
+            self.params.slot_table_size, self.engine
+        )
+        self.engine = self.ledger.engine
 
     # -- path & base-slot machinery ---------------------------------------------
 
     def _route(self, src_ni: str, dst_ni: str) -> Tuple[str, ...]:
-        if self.routing == "xy":
-            return xy_path(self.topology, src_ni, dst_ni)
-        return shortest_path(self.topology, src_ni, dst_ni)
+        return cached_route(self.topology, self.routing, src_ni, dst_ni)
+
+    def _claim_diagonal(
+        self,
+        path: Sequence[str],
+        link_delays: Optional[Sequence[int]],
+    ) -> List[Tuple[Tuple[str, str], int]]:
+        """One ``(edge, slot offset)`` pair per link of ``path``."""
+        if not link_delays:
+            return [
+                ((path[k], path[k + 1]), k + 1)
+                for k in range(len(path) - 1)
+            ]
+        diagonal: List[Tuple[Tuple[str, str], int]] = []
+        accumulated = 0
+        for k in range(len(path) - 1):
+            diagonal.append(
+                ((path[k], path[k + 1]), k + 1 + accumulated)
+            )
+            accumulated += link_delays[k]
+        return diagonal
 
     def admissible_base_slots(
         self,
@@ -142,42 +840,68 @@ class SlotAllocator:
         shifts the diagonal exactly as
         :meth:`~repro.alloc.spec.AllocatedChannel.link_claims` does.
         """
-        size = self.params.slot_table_size
-        delays = list(link_delays) if link_delays else [0] * (
-            len(path) - 1
+        mask = self.ledger.admissible_base_mask(
+            self._claim_diagonal(path, link_delays)
         )
-        offsets = []
-        accumulated = 0
-        for k in range(len(path) - 1):
-            offsets.append(k + 1 + accumulated)
-            accumulated += delays[k]
-        admissible = []
-        for base in range(size):
-            if all(
-                self.ledger.is_free(
-                    (path[k], path[k + 1]),
-                    (base + offsets[k]) % size,
-                )
-                for k in range(len(path) - 1)
-            ):
-                admissible.append(base)
-        return admissible
+        return list(iter_mask_slots(mask))
 
     def _pick_slots(self, candidates: List[int], count: int) -> List[int]:
         if self.policy == "first":
             return sorted(candidates)[:count]
         return _spread_pick(candidates, count, self.params.slot_table_size)
 
-    def _claim_channel(self, channel: AllocatedChannel) -> None:
-        claimed: List[Tuple[Tuple[str, str], int]] = []
-        try:
-            for edge, slot in channel.link_claims():
-                self.ledger.claim(edge, slot, channel.label)
-                claimed.append((edge, slot))
-        except SlotConflictError:
-            for edge, slot in claimed:
-                self.ledger.release(edge, slot, channel.label)
-            raise
+    def _pick_from_mask(self, mask: int, count: int) -> List[int]:
+        """Pick ``count`` base slots straight from an admissibility mask.
+
+        The common cases stay in the mask domain: ``first`` strips the
+        ``count`` lowest set bits, and a single-slot ``spread`` request
+        is just the lowest admissible slot (the spread seed).  Only a
+        multi-slot spread decodes the full candidate list.
+        """
+        size = self.params.slot_table_size
+        picked: List[int] = []
+        if self.policy == "first" or count == 1:
+            while mask and len(picked) < count:
+                low = mask & -mask
+                picked.append(low.bit_length() - 1)
+                mask ^= low
+            return picked
+        if size % count == 0 and count < mask.bit_count():
+            # Every ideal position first + i*size/count is an integer
+            # slot, so the cyclically-nearest free slot is found by
+            # rotating the availability mask to put the target at bit 0:
+            # the lowest set bit is the distance going up, the highest
+            # the distance going down (ties to the lower slot number) —
+            # no candidate-list decode needed.
+            full = (1 << size) - 1
+            step = size // count
+            first = (mask & -mask).bit_length() - 1
+            picked.append(first)
+            available = mask ^ (1 << first)
+            for i in range(1, count):
+                target = (first + i * step) % size
+                rotated = (
+                    (available >> target)
+                    | (available << (size - target))
+                ) & full
+                up = (rotated & -rotated).bit_length() - 1
+                down = size - (rotated.bit_length() - 1)
+                if up < down:
+                    slot = (target + up) % size
+                elif down < up:
+                    slot = (target - down) % size
+                else:
+                    slot = min(
+                        (target + up) % size, (target - down) % size
+                    )
+                picked.append(slot)
+                available ^= 1 << slot
+            return sorted(picked)
+        while mask:
+            low = mask & -mask
+            picked.append(low.bit_length() - 1)
+            mask ^= low
+        return _spread_pick(picked, count, size)
 
     # -- channel allocation --------------------------------------------------------
 
@@ -199,16 +923,23 @@ class SlotAllocator:
         chosen_path = tuple(path) if path is not None else self._route(
             request.src_ni, request.dst_ni
         )
-        candidates = self.admissible_base_slots(
-            chosen_path, link_delays
-        )
-        if len(candidates) < request.slots:
+        # Inlined _claim_diagonal/_slot_mask: this is the hot path and
+        # the helper frames are measurable at fleet-allocation scale.
+        if link_delays:
+            diagonal = self._claim_diagonal(chosen_path, link_delays)
+        else:
+            diagonal = [
+                ((chosen_path[k], chosen_path[k + 1]), k + 1)
+                for k in range(len(chosen_path) - 1)
+            ]
+        mask, context = self.ledger.probe_rotations(diagonal)
+        if mask.bit_count() < request.slots:
             raise AllocationError(
                 f"channel {request.label!r}: needs {request.slots} "
-                f"slots on path {chosen_path}, only {len(candidates)} "
-                f"admissible"
+                f"slots on path {chosen_path}, only "
+                f"{mask.bit_count()} admissible"
             )
-        slots = self._pick_slots(candidates, request.slots)
+        slots = self._pick_from_mask(mask, request.slots)
         channel = AllocatedChannel(
             label=request.label,
             path=chosen_path,
@@ -216,13 +947,21 @@ class SlotAllocator:
             slot_table_size=self.params.slot_table_size,
             link_delays=tuple(link_delays) if link_delays else (),
         )
-        self._claim_channel(channel)
+        base_mask = 0
+        for slot in slots:
+            base_mask |= 1 << slot
+        self.ledger.claim_prepared(context, base_mask, channel.label)
         return channel
 
     def release_channel(self, channel: AllocatedChannel) -> None:
         """Return a channel's claims to the free pool."""
-        for edge, slot in channel.link_claims():
-            self.ledger.release(edge, slot, channel.label)
+        self.ledger.release_rotations(
+            self._claim_diagonal(
+                channel.path, channel.link_delays or None
+            ),
+            _slot_mask(channel.slots),
+            channel.label,
+        )
 
     # -- connections ------------------------------------------------------------------
 
@@ -233,16 +972,20 @@ class SlotAllocator:
 
         The reverse channel uses the reversed forward path, so both
         directions traverse the same physical route (as daelite's paired
-        credit wiring expects).  On failure nothing stays claimed.
+        credit wiring expects).  On failure nothing stays claimed — the
+        forward channel's speculative claims are rolled back in one
+        ledger operation.
         """
-        forward = self.allocate_channel(request.forward)
+        token = self.ledger.snapshot()
         try:
+            forward = self.allocate_channel(request.forward)
             reverse = self.allocate_channel(
                 request.reverse, path=tuple(reversed(forward.path))
             )
         except AllocationError:
-            self.release_channel(forward)
+            self.ledger.rollback(token)
             raise
+        self.ledger.commit(token)
         return AllocatedConnection(
             label=request.label, forward=forward, reverse=reverse
         )
@@ -271,7 +1014,9 @@ class SlotAllocator:
         branches: List[Tuple[str, ...]] = []
         for dst in sorted(
             request.dst_nis,
-            key=lambda d: len(shortest_path(self.topology, src, d)),
+            key=lambda d: len(
+                cached_route(self.topology, "shortest", src, d)
+            ),
         ):
             branch = path_via_tree(
                 self.topology,
@@ -289,21 +1034,17 @@ class SlotAllocator:
         for branch in branches:
             for k in range(len(branch) - 1):
                 edge_positions.setdefault((branch[k], branch[k + 1]), k)
-        candidates = [
-            base
-            for base in range(size)
-            if all(
-                self.ledger.is_free(edge, (base + k + 1) % size)
-                for edge, k in edge_positions.items()
-            )
+        tree_diagonal = [
+            (edge, k + 1) for edge, k in edge_positions.items()
         ]
-        if len(candidates) < request.slots:
+        mask, context = self.ledger.probe_rotations(tree_diagonal)
+        if mask.bit_count() < request.slots:
             raise AllocationError(
                 f"multicast {request.label!r}: needs {request.slots} "
                 f"slots over {len(edge_positions)} tree links, only "
-                f"{len(candidates)} admissible"
+                f"{mask.bit_count()} admissible"
             )
-        slots = frozenset(self._pick_slots(candidates, request.slots))
+        slots = frozenset(self._pick_from_mask(mask, request.slots))
         tree = AllocatedMulticast(
             label=request.label,
             paths=tuple(
@@ -316,10 +1057,14 @@ class SlotAllocator:
                 for branch in branches
             ),
         )
-        for edge, slot in tree.link_claims():
-            self.ledger.claim(edge, slot, request.label)
+        self.ledger.claim_prepared(
+            context, _slot_mask(slots), request.label
+        )
         return tree
 
     def release_multicast(self, tree: AllocatedMulticast) -> None:
+        masks: Dict[Tuple[str, str], int] = {}
         for edge, slot in tree.link_claims():
-            self.ledger.release(edge, slot, tree.label)
+            masks[edge] = masks.get(edge, 0) | (1 << slot)
+        for edge, mask in masks.items():
+            self.ledger.release_edge_mask(edge, mask, tree.label)

@@ -16,6 +16,7 @@ from position *k* to *k+1* during slot ``(s + k + 1) mod T``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import AllocationError, ParameterError
@@ -71,7 +72,7 @@ class ConnectionRequest:
                 f"connection {self.label!r} needs >= 1 slot per direction"
             )
 
-    @property
+    @cached_property
     def forward(self) -> ChannelRequest:
         return ChannelRequest(
             label=f"{self.label}.fwd",
@@ -80,7 +81,7 @@ class ConnectionRequest:
             slots=self.forward_slots,
         )
 
-    @property
+    @cached_property
     def reverse(self) -> ChannelRequest:
         return ChannelRequest(
             label=f"{self.label}.rev",

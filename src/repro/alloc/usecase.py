@@ -69,11 +69,13 @@ class UseCaseManager:
         params: NetworkParameters,
         routing: str = "shortest",
         policy: str = "spread",
+        engine: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.params = params
         self.routing = routing
         self.policy = policy
+        self.engine = engine
         self.usecases: Dict[str, UseCase] = {}
         self.allocations: Dict[str, Dict[str, AllocatedConnection]] = {}
 
@@ -95,6 +97,7 @@ class UseCaseManager:
             params=self.params,
             routing=self.routing,
             policy=self.policy,
+            engine=self.engine,
         )
         allocated: Dict[str, AllocatedConnection] = {}
         for request in usecase.connections:

@@ -187,21 +187,23 @@ class PipelinedDaeliteNetwork(DaeliteNetwork):
         """Allocate a connection whose channels carry this network's
         link delays (forward path chosen by the allocator's routing)."""
         path = allocator._route(request.src_ni, request.dst_ni)
-        forward = allocator.allocate_channel(
-            request.forward,
-            path=path,
-            link_delays=self.delays_for_path(path),
-        )
         reverse_path = tuple(reversed(path))
+        token = allocator.ledger.snapshot()
         try:
+            forward = allocator.allocate_channel(
+                request.forward,
+                path=path,
+                link_delays=self.delays_for_path(path),
+            )
             reverse = allocator.allocate_channel(
                 request.reverse,
                 path=reverse_path,
                 link_delays=self.delays_for_path(reverse_path),
             )
         except Exception:
-            allocator.release_channel(forward)
+            allocator.ledger.rollback(token)
             raise
+        allocator.ledger.commit(token)
         return AllocatedConnection(
             label=request.label, forward=forward, reverse=reverse
         )

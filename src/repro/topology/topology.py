@@ -74,6 +74,10 @@ class Topology:
         self.elements: Dict[str, Element] = {}
         #: Undirected element graph; each edge is a bidirectional link pair.
         self.graph = nx.Graph()
+        #: Structural version, bumped on every element/link mutation.
+        #: Derived caches (e.g. the allocator's route memo) key on it so
+        #: they never serve paths from a stale structure.
+        self.version = 0
 
     # -- construction ---------------------------------------------------------
 
@@ -85,6 +89,7 @@ class Topology:
         )
         self.elements[name] = element
         self.graph.add_node(name, kind=kind)
+        self.version += 1
         return element
 
     def add_router(self, name: str) -> Element:
@@ -118,6 +123,7 @@ class Topology:
         self.elements[a].neighbors.append(b)
         self.elements[b].neighbors.append(a)
         self.graph.add_edge(a, b)
+        self.version += 1
 
     # -- queries --------------------------------------------------------------
 

@@ -132,6 +132,48 @@ class TestDimensioning:
         with pytest.raises(ParameterError, match="cover"):
             dimension_platform(spec, placement={"cpu": "NI00"})
 
+    def test_parallel_search_matches_serial(self):
+        """The process-pool search consumes results in strict cost
+        order, so it must pick exactly the platform the serial search
+        picks — including the placement."""
+        connections = [
+            ConnectionRequest(
+                f"c{i}", "cpu", "mem", forward_slots=3, reverse_slots=1
+            )
+            for i in range(4)
+        ]
+        spec = spec_with(connections, ips=("cpu", "mem"))
+        serial = dimension_platform(spec)
+        parallel = dimension_platform(spec, max_workers=2)
+        assert (parallel.width, parallel.height) == (
+            serial.width,
+            serial.height,
+        )
+        assert parallel.slot_table_size == serial.slot_table_size
+        assert parallel.placement == serial.placement
+        assert parallel.area_ge == serial.area_ge
+
+    def test_parallel_search_reports_no_fit(self):
+        connections = [
+            ConnectionRequest(f"c{i}", "cpu", "mem", forward_slots=30)
+            for i in range(4)
+        ]
+        spec = spec_with(connections, ips=("cpu", "mem"))
+        with pytest.raises(AllocationError, match="fits"):
+            dimension_platform(spec, max_workers=2)
+
+    def test_engine_pins_every_evaluation(self):
+        spec = spec_with(
+            [ConnectionRequest("c", "cpu", "mem")], ips=("cpu", "mem")
+        )
+        bitmask = dimension_platform(spec, engine="bitmask")
+        reference = dimension_platform(spec, engine="reference")
+        assert (bitmask.width, bitmask.height, bitmask.params) == (
+            reference.width,
+            reference.height,
+            reference.params,
+        )
+
     def test_multiple_usecases_all_fit(self):
         spec = PlatformSpec(
             ips=("cpu", "mem", "dsp"),

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.alloc import k_shortest_paths, shortest_path, xy_path
+from repro.alloc import (
+    cached_k_shortest_paths,
+    cached_route,
+    clear_route_cache,
+    k_shortest_paths,
+    shortest_path,
+    xy_path,
+)
 from repro.errors import RoutingError
 from repro.topology import build_mesh, build_ring
 
@@ -80,3 +87,54 @@ class TestKShortest:
     def test_invalid_k(self, mesh):
         with pytest.raises(RoutingError):
             k_shortest_paths(mesh, "NI00", "NI22", 0)
+
+
+class TestRouteCache:
+    def test_cached_route_matches_uncached(self, mesh):
+        assert cached_route(mesh, "xy", "NI00", "NI22") == xy_path(
+            mesh, "NI00", "NI22"
+        )
+        assert cached_route(
+            mesh, "shortest", "NI00", "NI22"
+        ) == shortest_path(mesh, "NI00", "NI22")
+
+    def test_repeat_lookup_hits_the_memo(self, mesh):
+        first = cached_route(mesh, "xy", "NI00", "NI22")
+        assert cached_route(mesh, "xy", "NI00", "NI22") is first
+
+    def test_unknown_routing_rejected(self, mesh):
+        with pytest.raises(RoutingError, match="unknown routing"):
+            cached_route(mesh, "zigzag", "NI00", "NI22")
+
+    def test_caches_are_per_topology(self):
+        left, right = build_mesh(2, 2), build_mesh(2, 2)
+        assert cached_route(left, "xy", "NI00", "NI11") == cached_route(
+            right, "xy", "NI00", "NI11"
+        )
+        assert cached_route(
+            left, "xy", "NI00", "NI11"
+        ) is not cached_route(right, "xy", "NI00", "NI11")
+
+    def test_topology_mutation_invalidates(self):
+        mesh = build_mesh(3, 3)
+        before = cached_route(mesh, "shortest", "NI00", "NI22")
+        # Splice a shortcut router across the diagonal; the memoized
+        # 4-hop route must not survive the structural change.
+        mesh.add_router("RX")
+        mesh.connect("R00", "RX")
+        mesh.connect("RX", "R22")
+        after = cached_route(mesh, "shortest", "NI00", "NI22")
+        assert len(after) < len(before)
+
+    def test_clear_route_cache(self, mesh):
+        first = cached_route(mesh, "xy", "NI00", "NI22")
+        clear_route_cache(mesh)
+        assert cached_route(mesh, "xy", "NI00", "NI22") is not first
+        clear_route_cache()  # clearing everything is also legal
+
+    def test_cached_k_shortest_matches_and_copies(self, mesh):
+        direct = k_shortest_paths(mesh, "NI00", "NI22", 3)
+        cached = cached_k_shortest_paths(mesh, "NI00", "NI22", 3)
+        assert cached == direct
+        cached.append(("bogus",))  # callers get a private copy
+        assert cached_k_shortest_paths(mesh, "NI00", "NI22", 3) == direct

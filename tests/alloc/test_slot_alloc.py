@@ -2,19 +2,30 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.alloc import (
+    ALLOC_ENGINE_ENV,
+    BITMASK_ENGINE,
+    REFERENCE_ENGINE,
+    BitmaskLinkSlotLedger,
     ChannelRequest,
     ConnectionRequest,
     LinkSlotLedger,
     MulticastRequest,
     SlotAllocator,
+    default_alloc_engine,
+    make_ledger,
     validate_schedule,
 )
+from repro.alloc.slot_alloc import _spread_pick, iter_mask_slots
 from repro.errors import AllocationError, SlotConflictError
 from repro.params import daelite_parameters
 from repro.topology import build_mesh
+
+BOTH_ENGINES = (REFERENCE_ENGINE, BITMASK_ENGINE)
 
 
 @pytest.fixture
@@ -63,6 +74,230 @@ class TestLedger:
         ledger.claim(("a", "b"), 1, "c1")
         assert ledger.link_utilization(("a", "b")) == pytest.approx(0.25)
         assert ledger.total_claims() == 2
+
+
+class TestEngineSelection:
+    def test_default_engine_is_bitmask(self, monkeypatch):
+        monkeypatch.delenv(ALLOC_ENGINE_ENV, raising=False)
+        assert default_alloc_engine() == BITMASK_ENGINE
+        assert isinstance(make_ledger(8), BitmaskLinkSlotLedger)
+
+    def test_environment_selects_reference(self, monkeypatch):
+        monkeypatch.setenv(ALLOC_ENGINE_ENV, "reference")
+        assert default_alloc_engine() == REFERENCE_ENGINE
+        assert type(make_ledger(8)) is LinkSlotLedger
+
+    def test_unknown_environment_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv(ALLOC_ENGINE_ENV, "quantum")
+        with pytest.raises(AllocationError, match="quantum"):
+            default_alloc_engine()
+
+    def test_explicit_engine_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv(ALLOC_ENGINE_ENV, "reference")
+        assert isinstance(
+            make_ledger(8, BITMASK_ENGINE), BitmaskLinkSlotLedger
+        )
+
+    def test_unknown_explicit_engine_rejected(self):
+        with pytest.raises(AllocationError, match="unknown"):
+            make_ledger(8, "quantum")
+
+    def test_allocator_resolves_engine_attribute(self, params):
+        allocator = SlotAllocator(
+            topology=build_mesh(2, 2),
+            params=params,
+            engine=REFERENCE_ENGINE,
+        )
+        assert allocator.engine == REFERENCE_ENGINE
+        assert allocator.ledger.engine == REFERENCE_ENGINE
+
+
+@pytest.mark.parametrize("engine", BOTH_ENGINES)
+class TestLedgerEngines:
+    """Engine-parametrized ledger behaviour (both must agree)."""
+
+    def test_release_drops_empty_edge(self, engine):
+        """Releasing a link's last slot forgets the edge entirely —
+        empty per-edge entries must not accumulate across use-case
+        churn or leak into claimed_edges()."""
+        ledger = make_ledger(8, engine)
+        ledger.claim(("a", "b"), 1, "c1")
+        ledger.claim(("a", "b"), 5, "c1")
+        ledger.claim(("b", "c"), 2, "c2")
+        ledger.release(("a", "b"), 1, "c1")
+        assert ledger.claimed_edges() == [("a", "b"), ("b", "c")]
+        ledger.release(("a", "b"), 5, "c1")
+        assert ledger.claimed_edges() == [("b", "c")]
+        ledger.release(("b", "c"), 2, "c2")
+        assert ledger.claimed_edges() == []
+        # The backing store itself is empty, not just the view.
+        backing = (
+            ledger._links
+            if engine == BITMASK_ENGINE
+            else ledger._claims
+        )
+        assert backing == {}
+
+    def test_edge_mask_claim_and_release(self, engine):
+        ledger = make_ledger(8, engine)
+        ledger.claim_edge_mask(("a", "b"), 0b1011, "c1")
+        assert ledger.total_claims() == 3
+        assert ledger.owner(("a", "b"), 3) == "c1"
+        with pytest.raises(SlotConflictError):
+            ledger.claim_edge_mask(("a", "b"), 0b0010, "c2")
+        with pytest.raises(SlotConflictError):
+            ledger.release_edge_mask(("a", "b"), 0b0110, "c1")
+        ledger.release_edge_mask(("a", "b"), 0b1011, "c1")
+        assert ledger.total_claims() == 0
+
+    def test_snapshot_rollback_restores_slots(self, engine):
+        ledger = make_ledger(8, engine)
+        ledger.claim(("a", "b"), 0, "keep")
+        token = ledger.snapshot()
+        ledger.claim(("a", "b"), 1, "spec")
+        ledger.claim(("c", "d"), 2, "spec")
+        ledger.release(("a", "b"), 0, "keep")
+        ledger.rollback(token)
+        assert ledger.owner(("a", "b"), 0) == "keep"
+        assert ledger.is_free(("a", "b"), 1)
+        assert ledger.claimed_edges() == [("a", "b")]
+
+    def test_snapshot_commit_keeps_writes(self, engine):
+        ledger = make_ledger(8, engine)
+        token = ledger.snapshot()
+        ledger.claim(("a", "b"), 1, "c1")
+        ledger.commit(token)
+        assert ledger.owner(("a", "b"), 1) == "c1"
+
+    def test_nested_scopes_rollback_independently(self, engine):
+        ledger = make_ledger(8, engine)
+        outer = ledger.snapshot()
+        ledger.claim(("a", "b"), 0, "outer")
+        inner = ledger.snapshot()
+        ledger.claim(("a", "b"), 1, "inner")
+        ledger.claim_edge_mask(("c", "d"), 0b1100, "inner")
+        ledger.rollback(inner)
+        assert ledger.owner(("a", "b"), 0) == "outer"
+        assert ledger.is_free(("a", "b"), 1)
+        assert ledger.claimed_edges() == [("a", "b")]
+        ledger.rollback(outer)
+        assert ledger.total_claims() == 0
+
+    def test_rollback_of_mask_release_restores_claims(self, engine):
+        ledger = make_ledger(8, engine)
+        ledger.claim_edge_mask(("a", "b"), 0b0110, "c1")
+        token = ledger.snapshot()
+        ledger.release_edge_mask(("a", "b"), 0b0110, "c1")
+        assert ledger.claimed_edges() == []
+        ledger.rollback(token)
+        assert ledger.owner(("a", "b"), 1) == "c1"
+        assert ledger.owner(("a", "b"), 2) == "c1"
+
+    def test_scope_underflow_rejected(self, engine):
+        ledger = make_ledger(8, engine)
+        with pytest.raises(AllocationError, match="underflow"):
+            ledger.rollback(0)
+
+    def test_claim_rotations_is_atomic(self, engine):
+        ledger = make_ledger(8, engine)
+        # Block slot 2 on the second link: base 0 fits link 1 (slot 1)
+        # but conflicts on link 2, so the whole claim must unwind.
+        ledger.claim(("b", "c"), 2, "other")
+        diagonal = [(("a", "b"), 1), (("b", "c"), 2)]
+        with pytest.raises(SlotConflictError):
+            ledger.claim_rotations(diagonal, 0b0001, "mine")
+        assert ledger.total_claims() == 1
+        assert ledger.claimed_edges() == [("b", "c")]
+
+    def test_probe_then_claim_prepared(self, engine):
+        ledger = make_ledger(8, engine)
+        ledger.claim(("a", "b"), 1, "other")  # blocks base 0
+        diagonal = [(("a", "b"), 1), (("b", "c"), 2)]
+        mask, context = ledger.probe_rotations(diagonal)
+        assert list(iter_mask_slots(mask)) == [1, 2, 3, 4, 5, 6, 7]
+        ledger.claim_prepared(context, 0b0010, "mine")
+        assert ledger.owner(("a", "b"), 2) == "mine"
+        assert ledger.owner(("b", "c"), 3) == "mine"
+
+    def test_claim_prepared_with_repeated_edge(self, engine):
+        """A diagonal may legally revisit an edge (non-simple paths);
+        the second visit must see the first visit's claims."""
+        ledger = make_ledger(8, engine)
+        diagonal = [
+            (("a", "b"), 1),
+            (("b", "a"), 2),
+            (("a", "b"), 3),
+        ]
+        mask, context = ledger.probe_rotations(diagonal)
+        assert mask == 0xFF
+        ledger.claim_prepared(context, 0b0001, "loop")
+        assert ledger.owner(("a", "b"), 1) == "loop"
+        assert ledger.owner(("b", "a"), 2) == "loop"
+        assert ledger.owner(("a", "b"), 3) == "loop"
+        assert ledger.total_claims() == 3
+
+    def test_admissible_base_mask_sees_all_links(self, engine):
+        ledger = make_ledger(8, engine)
+        ledger.claim(("a", "b"), 1, "x")  # blocks base 0 via offset 1
+        ledger.claim(("b", "c"), 5, "y")  # blocks base 3 via offset 2
+        diagonal = [(("a", "b"), 1), (("b", "c"), 2)]
+        mask = ledger.admissible_base_mask(diagonal)
+        assert sorted(iter_mask_slots(mask)) == [1, 2, 4, 5, 6, 7]
+
+
+class TestSpreadPick:
+    def test_spread_spaces_over_slot_positions(self):
+        """Spacing is over slot positions modulo T, not candidate-list
+        indices: with candidates [0,1,2,3,8,9] on a 16-wheel, the
+        second pick lands at slot 8 (the wheel's far side), not at the
+        list's middle element."""
+        assert _spread_pick([0, 1, 2, 3, 8, 9], 2, 16) == [0, 8]
+
+    def test_spread_tie_breaks_to_lower_slot(self):
+        # Target for the second pick is 4; slots 3 and 5 are
+        # equidistant, so the lower one wins.
+        assert _spread_pick([0, 3, 5], 2, 8) == [0, 3]
+
+    def test_all_candidates_returned_when_count_covers_them(self):
+        assert _spread_pick([5, 1, 3], 3, 8) == [1, 3, 5]
+        assert _spread_pick([5, 1], 5, 8) == [1, 5]
+
+    @pytest.mark.parametrize("size", [8, 16, 32])
+    def test_pick_from_mask_matches_spread_pick(self, size):
+        """The mask-domain fast paths of ``_pick_from_mask`` (rotation
+        trick for even divisions, lowest-bit stripping) must pick the
+        same slots as the candidate-list reference."""
+        params = daelite_parameters(slot_table_size=size)
+        allocator = SlotAllocator(
+            topology=build_mesh(2, 2), params=params, policy="spread"
+        )
+        rng = random.Random(1234)
+        for _ in range(300):
+            mask = rng.getrandbits(size)
+            if not mask:
+                continue
+            count = rng.randint(1, max(1, mask.bit_count()))
+            expected = _spread_pick(
+                list(iter_mask_slots(mask)), count, size
+            )
+            assert allocator._pick_from_mask(mask, count) == expected
+
+    @pytest.mark.parametrize("size", [8, 16])
+    def test_pick_from_mask_first_policy(self, size):
+        params = daelite_parameters(slot_table_size=size)
+        allocator = SlotAllocator(
+            topology=build_mesh(2, 2), params=params, policy="first"
+        )
+        rng = random.Random(99)
+        for _ in range(100):
+            mask = rng.getrandbits(size)
+            if not mask:
+                continue
+            count = rng.randint(1, mask.bit_count())
+            assert (
+                allocator._pick_from_mask(mask, count)
+                == list(iter_mask_slots(mask))[:count]
+            )
 
 
 class TestChannelAllocation:

@@ -1,0 +1,355 @@
+"""Differential tests: the bitmask ledger engine vs the reference.
+
+The bitmask engine is a pure optimization — for every workload it must
+make exactly the decisions of the dict-based reference: same admissible
+sets, same picked slots, same rejections (down to the reported counts),
+same final ledger state.  These tests drive both engines through the
+same randomized scenarios and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc import (
+    BITMASK_ENGINE,
+    REFERENCE_ENGINE,
+    ChannelRequest,
+    ConnectionRequest,
+    MulticastRequest,
+    SlotAllocator,
+    UseCase,
+    UseCaseManager,
+    allocate_multipath,
+)
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+ENGINES = (REFERENCE_ENGINE, BITMASK_ENGINE)
+
+
+def _ledger_dump(ledger, slot_table_size):
+    """Every (edge, slot) -> owner mapping, in canonical form."""
+    return {
+        edge: tuple(
+            ledger.owner(edge, slot) for slot in range(slot_table_size)
+        )
+        for edge in ledger.claimed_edges()
+    }
+
+
+@st.composite
+def mixed_scenarios(draw):
+    width = draw(st.integers(min_value=2, max_value=4))
+    height = draw(st.integers(min_value=1, max_value=3))
+    slot_table_size = draw(st.sampled_from([8, 16, 32]))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    return width, height, slot_table_size, seed
+
+
+def _run_mixed_scenario(engine, scenario):
+    """A scripted mix of connection/multicast/release steps.
+
+    Every decision comes from the scenario's own RNG, never from the
+    engine, so both engines replay the identical request stream; the
+    returned outcome log and ledger dump capture everything observable.
+    """
+    width, height, slot_table_size, seed = scenario
+    topology = build_mesh(width, height)
+    params = daelite_parameters(slot_table_size=slot_table_size)
+    allocator = SlotAllocator(
+        topology=topology, params=params, engine=engine
+    )
+    assert allocator.ledger.engine == engine
+    rng = random.Random(seed)
+    nis = sorted(element.name for element in topology.nis)
+    outcomes = []
+    live = []
+    for step in range(30):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            src, dst = rng.sample(nis, 2)
+            request = ConnectionRequest(
+                f"c{step}",
+                src,
+                dst,
+                forward_slots=rng.randint(1, 4),
+                reverse_slots=rng.randint(1, 2),
+            )
+            try:
+                connection = allocator.allocate_connection(request)
+            except AllocationError as error:
+                outcomes.append(("conn-fail", request.label, str(error)))
+            else:
+                live.append(("conn", connection))
+                outcomes.append(
+                    (
+                        "conn",
+                        request.label,
+                        connection.forward.path,
+                        tuple(sorted(connection.forward.slots)),
+                        tuple(sorted(connection.reverse.slots)),
+                    )
+                )
+        elif roll < 0.75 and len(nis) >= 3:
+            src = rng.choice(nis)
+            others = [name for name in nis if name != src]
+            dsts = tuple(rng.sample(others, min(3, len(others))))
+            request = MulticastRequest(
+                f"m{step}", src, dsts, slots=rng.randint(1, 2)
+            )
+            try:
+                tree = allocator.allocate_multicast(request)
+            except AllocationError as error:
+                outcomes.append(("tree-fail", request.label, str(error)))
+            else:
+                live.append(("tree", tree))
+                outcomes.append(
+                    (
+                        "tree",
+                        request.label,
+                        tuple(sorted(tree.slots)),
+                        tuple(branch.path for branch in tree.paths),
+                    )
+                )
+        else:
+            kind, allocation = live.pop(rng.randrange(len(live)))
+            if kind == "conn":
+                allocator.release_connection(allocation)
+            else:
+                allocator.release_multicast(allocation)
+            outcomes.append(("release", allocation.label))
+    outcomes.append(("total", allocator.ledger.total_claims()))
+    return outcomes, _ledger_dump(allocator.ledger, slot_table_size)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(mixed_scenarios())
+    def test_mixed_workload_identical(self, scenario):
+        """Connections, multicast trees, and releases — byte-identical
+        outcome logs (including error messages, which embed the
+        admissible-slot counts) and final ledger state."""
+        reference = _run_mixed_scenario(REFERENCE_ENGINE, scenario)
+        bitmask = _run_mixed_scenario(BITMASK_ENGINE, scenario)
+        assert bitmask == reference
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        mixed_scenarios(),
+        st.sampled_from(["first", "spread"]),
+        st.sampled_from(["xy", "shortest"]),
+    )
+    def test_policies_and_routing_identical(
+        self, scenario, policy, routing
+    ):
+        """Both picking policies and both routings allocate identically."""
+        width, height, slot_table_size, seed = scenario
+        params = daelite_parameters(slot_table_size=slot_table_size)
+        results = {}
+        for engine in ENGINES:
+            topology = build_mesh(width, height)
+            allocator = SlotAllocator(
+                topology=topology,
+                params=params,
+                routing=routing,
+                policy=policy,
+                engine=engine,
+            )
+            nis = sorted(element.name for element in topology.nis)
+            pair_rng = random.Random(seed)
+            log = []
+            for step in range(20):
+                src, dst = pair_rng.sample(nis, 2)
+                request = ChannelRequest(
+                    f"c{step}", src, dst, slots=pair_rng.randint(1, 6)
+                )
+                try:
+                    channel = allocator.allocate_channel(request)
+                except AllocationError as error:
+                    log.append((request.label, str(error)))
+                else:
+                    log.append(
+                        (
+                            request.label,
+                            channel.path,
+                            tuple(sorted(channel.slots)),
+                        )
+                    )
+            results[engine] = (
+                log,
+                _ledger_dump(allocator.ledger, slot_table_size),
+            )
+        assert results[BITMASK_ENGINE] == results[REFERENCE_ENGINE]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=12),
+    )
+    def test_multipath_identical(self, width, height, seed, slots):
+        """Multipath spill-over uses the same paths and slots."""
+        params = daelite_parameters(slot_table_size=8)
+        results = {}
+        for engine in ENGINES:
+            topology = build_mesh(width, height)
+            allocator = SlotAllocator(
+                topology=topology, params=params, engine=engine
+            )
+            nis = sorted(element.name for element in topology.nis)
+            rng = random.Random(seed)
+            src, dst = rng.sample(nis, 2)
+            # Pre-load some contention so the spill-over logic runs.
+            for step in range(rng.randint(0, 4)):
+                try:
+                    allocator.allocate_channel(
+                        ChannelRequest(
+                            f"bg{step}",
+                            *rng.sample(nis, 2),
+                            slots=rng.randint(1, 3),
+                        )
+                    )
+                except AllocationError:
+                    pass
+            try:
+                allocation = allocate_multipath(
+                    allocator,
+                    ChannelRequest("mp", src, dst, slots=slots),
+                )
+            except AllocationError as error:
+                results[engine] = ("fail", str(error))
+            else:
+                results[engine] = tuple(
+                    (part.path, tuple(sorted(part.slots)))
+                    for part in allocation.parts
+                )
+        assert results[BITMASK_ENGINE] == results[REFERENCE_ENGINE]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_usecase_switch_identical(self, seed):
+        """Per-use-case allocations and switch plans coincide."""
+        rng = random.Random(seed)
+        topology_for = lambda: build_mesh(3, 3)
+        nis = sorted(element.name for element in topology_for().nis)
+        params = daelite_parameters(slot_table_size=16)
+
+        def usecase(name, count):
+            pair_rng = random.Random(seed + count)
+            return UseCase(
+                name,
+                tuple(
+                    ConnectionRequest(
+                        f"{name}.c{index}",
+                        *pair_rng.sample(nis, 2),
+                        forward_slots=pair_rng.randint(1, 2),
+                    )
+                    for index in range(count)
+                ),
+            )
+
+        usecases = [
+            usecase("boot", rng.randint(1, 3)),
+            usecase("video", rng.randint(1, 4)),
+        ]
+        plans = {}
+        for engine in ENGINES:
+            manager = UseCaseManager(
+                topology_for(), params, engine=engine
+            )
+            for case in usecases:
+                manager.add_usecase(case)
+            plans[engine] = (
+                manager.plan_switch("boot", "video"),
+                {
+                    name: {
+                        label: (
+                            connection.forward.path,
+                            tuple(sorted(connection.forward.slots)),
+                            tuple(sorted(connection.reverse.slots)),
+                        )
+                        for label, connection in allocated.items()
+                    }
+                    for name, allocated in manager.allocations.items()
+                },
+            )
+        assert plans[BITMASK_ENGINE] == plans[REFERENCE_ENGINE]
+
+
+class TestLinkDelayEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+        st.lists(
+            st.integers(min_value=0, max_value=3),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_admissible_base_slots_match_link_claims(
+        self, side, seed, delays
+    ):
+        """With non-zero ``link_delays``, a base slot is admissible in
+        *both* engines iff every claim ``AllocatedChannel.link_claims``
+        would make for it is free — the delayed diagonal and the
+        allocated channel must use the same arithmetic."""
+        params = daelite_parameters(slot_table_size=16)
+        rng = random.Random(seed)
+        admissible = {}
+        for engine in ENGINES:
+            topology = build_mesh(side, side)
+            allocator = SlotAllocator(
+                topology=topology, params=params, engine=engine
+            )
+            nis = sorted(element.name for element in topology.nis)
+            pair_rng = random.Random(seed)
+            for step in range(pair_rng.randint(1, 6)):
+                try:
+                    allocator.allocate_channel(
+                        ChannelRequest(
+                            f"bg{step}",
+                            *pair_rng.sample(nis, 2),
+                            slots=pair_rng.randint(1, 3),
+                        )
+                    )
+                except AllocationError:
+                    pass
+            src, dst = pair_rng.sample(nis, 2)
+            path = allocator._route(src, dst)
+            link_delays = tuple(
+                delays[k % len(delays)] for k in range(len(path) - 1)
+            )
+            slots = allocator.admissible_base_slots(path, link_delays)
+            admissible[engine] = slots
+            for base in range(params.slot_table_size):
+                channel = AllocatedChannelProbe(
+                    path, base, params.slot_table_size, link_delays
+                )
+                free = all(
+                    allocator.ledger.is_free(edge, slot)
+                    for edge, slot in channel.link_claims()
+                )
+                assert (base in slots) == free, (
+                    f"engine {engine}: base {base} admissibility "
+                    f"disagrees with link_claims (delays {link_delays})"
+                )
+        assert admissible[BITMASK_ENGINE] == admissible[REFERENCE_ENGINE]
+
+
+def AllocatedChannelProbe(path, base, slot_table_size, link_delays):
+    """An AllocatedChannel carrying one base slot, for claim probing."""
+    from repro.alloc import AllocatedChannel
+
+    return AllocatedChannel(
+        label="probe",
+        path=path,
+        slots=frozenset({base}),
+        slot_table_size=slot_table_size,
+        link_delays=link_delays if any(link_delays) else (),
+    )
