@@ -23,6 +23,7 @@ from repro.shells import (
     TargetShell,
     daelite_ports,
 )
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 from repro.traffic import CacheMissTraffic
 
@@ -52,6 +53,7 @@ def main() -> None:
 
     network = DaeliteNetwork(topology, params, host_ni="NI00")
     handle = network.configure(connection)
+    verify_network_state(network, [handle])
 
     # Protocol stack: CPU-side bus + initiator shell, memory-side
     # target shell over the DRAM model.

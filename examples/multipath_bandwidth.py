@@ -18,9 +18,11 @@ from repro.alloc import (
     allocate_multipath,
 )
 from repro.core import DaeliteNetwork
+from repro.core.host import ChannelEndpoints
 from repro.core.multicast import channel_path_packet
 from repro.errors import AllocationError
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 
 
@@ -81,8 +83,26 @@ def main() -> None:
     # setup_path_only returns cycles; re-fetch channel indices from the
     # host bookkeeping by configuring NI channel state directly through
     # packets is already done — look the channels up via the tables.
-    words_per_part = 120
     src_ni = network.ni("NI00")
+    dst_ni = network.ni("NI22")
+    # Model-check the programmed tables: each part must materialize as
+    # an independent contention-free channel.
+    verify_network_state(
+        network,
+        [
+            ChannelEndpoints(
+                channel=part,
+                src_channel=src_ni.injection_table.channel(
+                    min(part.table_slots(0))
+                ),
+                dst_channel=dst_ni.arrival_table.channel(
+                    min(part.table_slots(len(part.path) - 1))
+                ),
+            )
+            for part in allocation.parts
+        ],
+    )
+    words_per_part = 120
     total = 0
     for index, part in enumerate(allocation.parts):
         inject_channel = next(

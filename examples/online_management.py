@@ -22,6 +22,7 @@ from repro.analysis import (
 )
 from repro.core import DaeliteNetwork, OnlineConnectionManager
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 
 
@@ -40,6 +41,7 @@ def main() -> None:
     )
     print(f"opened 'stream' in {stream.setup_cycles} cycles")
     print(f"opened 'sync'   in {sync.setup_cycles} cycles")
+    verify_network_state(network, [stream.handle, sync.handle])
     print()
     print(describe_allocation(stream.allocation, params))
     print()
@@ -77,6 +79,9 @@ def main() -> None:
     teardown_cycles = manager.close_connection("stream")
     manager.close_multicast("sync")
     print(f"closed 'stream' in {teardown_cycles} cycles")
+    # With everything torn down, a check against zero expected
+    # channels proves no orphan table entries survived.
+    verify_network_state(network, [])
     print(f"claims remaining in the ledger: {manager.claimed_slots}")
     assert manager.claimed_slots == 0
     assert network.total_dropped_words == 0

@@ -20,6 +20,7 @@ from repro.alloc import (
 from repro.analysis import describe_allocation
 from repro.core import DaeliteNetwork, OnlineConnectionManager
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 
 
 def main() -> None:
@@ -96,7 +97,12 @@ def main() -> None:
             record.allocation, result.params
         ).splitlines()[1].strip())
 
-    # 4. Verify: stream a burst of video frames.
+    # 4. Verify: first the materialized tables against the use case's
+    #    allocations, then a burst of video frames through them.
+    verify_network_state(
+        network,
+        [record.handle for record in manager.connections.values()],
+    )
     video = manager.connections["video"]
     src = result.placement["decoder"]
     dst = result.placement["display"]

@@ -17,6 +17,7 @@ from repro.analysis import (
 )
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 
 
@@ -49,6 +50,9 @@ def main() -> None:
         f"({handle.config_words} config words in "
         f"{len(handle.requests)} packets)"
     )
+    # Model-check the programmed tables against the allocation.
+    verify_network_state(network, [handle])
+    print("schedule check: router + NI tables match the allocation")
 
     # 4. Traffic: stream 100 words and drain the destination.
     words = 100

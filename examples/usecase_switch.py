@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.alloc import ConnectionRequest, UseCase, UseCaseManager
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 
 
@@ -60,6 +61,7 @@ def main() -> None:
         label: network.configure(manager.allocation("playback", label))
         for label in ("decode", "ui")
     }
+    verify_network_state(network, list(handles.values()))
     stream(network, handles["decode"], "NI00", "NI22", "decode", 60)
     stream(network, handles["ui"], "NI10", "NI12", "ui", 10)
     print("playback phase: decode + ui streams delivered")
@@ -83,6 +85,9 @@ def main() -> None:
             manager.allocation("capture", label)
         )
     switch_cycles = network.kernel.cycle - switch_start
+    # After the switch the tables must describe exactly the capture
+    # use case — nothing left over from playback, nothing missing.
+    verify_network_state(network, list(handles.values()))
     print(
         f"use-case switch completed in {switch_cycles} cycles "
         f"(ui kept alive: {'ui' in switch.kept})"

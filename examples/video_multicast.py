@@ -18,6 +18,7 @@ from repro.alloc import MulticastRequest, SlotAllocator
 from repro.analysis import multicast_required_drain_rate
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 from repro.traffic import CbrGenerator, DrainSink
 
@@ -46,6 +47,7 @@ def main() -> None:
         f"tree set-up: {handle.setup_cycles} cycles in "
         f"{len(handle.requests)} packets (trunk + partial paths)"
     )
+    verify_network_state(network, [handle])
 
     # The decoder produces at exactly the allocated rate; each display
     # must drain at that rate (no credits protect multicast).

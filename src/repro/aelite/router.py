@@ -83,6 +83,17 @@ class AeliteRouter(Component):
         return None
 
     def evaluate(self, cycle: int) -> None:
+        # Pipeline stages advance back to front, reading each register
+        # before anything drives it this cycle (the two-phase
+        # read-before-drive discipline, KC003).
+        for output in range(self.ports):
+            ready = self._stage2[output].q
+            out_link = self.out_links[output]
+            if ready is not None and out_link is not None:
+                out_link.send(ready)
+            staged = self._stage1[output].q
+            if staged is not None:
+                self._stage2[output].drive(staged)
         for input_port in range(self.ports):
             in_link = self.in_links[input_port]
             if in_link is None:
@@ -91,14 +102,6 @@ class AeliteRouter(Component):
             if phit.is_idle or phit.word is None:
                 continue
             self._route_word(input_port, phit)
-        for output in range(self.ports):
-            staged = self._stage1[output].q
-            if staged is not None:
-                self._stage2[output].drive(staged)
-            ready = self._stage2[output].q
-            out_link = self.out_links[output]
-            if ready is not None and out_link is not None:
-                out_link.send(ready)
 
     def _route_word(self, input_port: int, phit: Phit) -> None:
         state = self._input_state[input_port]

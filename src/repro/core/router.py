@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..errors import SimulationError
+from ..errors import ProtocolError, SimulationError
 from ..params import NetworkParameters
 from ..sim.flit import Phit
 from ..sim.kernel import Component, Register
@@ -98,6 +98,16 @@ class Router(Component):
 
     def evaluate(self, cycle: int) -> None:
         slot = self.params.lagged_slot_of_cycle(cycle)
+        # Output stage first: read the crossbar registers (previous
+        # cycle's words) before this cycle's forwarding drives them —
+        # the two-phase read-before-drive discipline (KC003).
+        for output in range(self.ports):
+            staged: Phit = self._xbar_regs[output].q
+            out_link = self.out_links[output]
+            if staged is not None and not staged.is_idle and (
+                out_link is not None
+            ):
+                out_link.send(staged)
         consumed = set()
         for output, input_port in self.slot_table.forwards(slot):
             in_link = self.in_links[input_port]
@@ -137,13 +147,6 @@ class Router(Component):
                         f"input {input_port} in slot {slot} but no "
                         f"output forwards it — schedule misconfigured"
                     )
-        for output in range(self.ports):
-            staged: Phit = self._xbar_regs[output].q
-            out_link = self.out_links[output]
-            if staged is not None and not staged.is_idle and (
-                out_link is not None
-            ):
-                out_link.send(staged)
         for action in self.config.evaluate(cycle):
             self._apply(action)
 
@@ -162,8 +165,11 @@ class Router(Component):
             for output in outputs:
                 self.slot_table.apply_mask(output, action.mask, None)
         else:
-            assert action.output is not None
-            assert action.input_port is not None
+            if action.output is None or action.input_port is None:
+                raise ProtocolError(
+                    f"{self.name}: set-up path action must name both "
+                    f"an output and an input port, got {action!r}"
+                )
             self.slot_table.apply_mask(
                 action.output, action.mask, action.input_port
             )

@@ -50,18 +50,48 @@ The activity invariant: a component may be skipped in a cycle only if its
 latch only if latching would not change it.  ``tests/sim/test_kernel_equivalence.py``
 checks the two modes produce bit-identical per-cycle register traces on
 randomized networks and workloads.
+
+Strict-registers instrumentation
+--------------------------------
+
+The wake rules above are a *contract*: a component must declare every
+register its ``evaluate`` reads (own registers implicitly, foreign ones
+via :meth:`Component.external_inputs`) and must only drive registers it
+owns or free-standing (link) registers.  ``Kernel(strict_registers=True)``
+— or ``REPRO_STRICT_REGISTERS=1`` — verifies the contract dynamically:
+while a component evaluates, every ``Register.q`` read is checked against
+its declared read set and every drive against its write set, raising
+:class:`~repro.errors.ContractViolationError` on the first breach.  This
+is the runtime twin of the static auditor in :mod:`repro.staticcheck`;
+the instrumentation swaps ``Register.q`` for a checking property only
+while a strict kernel is actually stepping, so non-strict kernels never
+pay for it.
 """
 
 from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from ..errors import SimulationError
+from ..errors import ContractViolationError, SimulationError
 
 #: Environment variable selecting the default kernel mode.
 KERNEL_MODE_ENV = "REPRO_KERNEL_MODE"
+#: Environment variable enabling strict register-contract checking.
+STRICT_REGISTERS_ENV = "REPRO_STRICT_REGISTERS"
 #: Activity-driven evaluation (wake sets, dirty latch, fast-forward).
 ACTIVITY_MODE = "activity"
 #: Reference evaluation: everything, every cycle.
@@ -82,6 +112,12 @@ def default_kernel_mode() -> str:
             f"{KERNEL_MODE_ENV}={mode!r} is not one of {_MODES}"
         )
     return mode
+
+
+def default_strict_registers() -> bool:
+    """Strict-registers default from ``REPRO_STRICT_REGISTERS``."""
+    value = os.environ.get(STRICT_REGISTERS_ENV, "").strip().lower()
+    return value in ("1", "true", "yes", "on")
 
 
 class Register:
@@ -206,6 +242,68 @@ class Component(ABC):
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+# -- strict-registers instrumentation --------------------------------------
+#
+# While a strict kernel steps, ``Register.q`` is swapped for a property
+# that consults the module-level observation context.  The context is set
+# only around ``component.evaluate`` calls, so reads from test code, the
+# host, or the kernel's own bookkeeping are never restricted.
+
+
+class _StrictContext:
+    """The component currently evaluating and its declared read set."""
+
+    __slots__ = ("component", "allowed_reads")
+
+    def __init__(
+        self, component: "Component", allowed_reads: FrozenSet[Register]
+    ) -> None:
+        self.component = component
+        self.allowed_reads = allowed_reads
+
+
+_STRICT_CTX: Optional[_StrictContext] = None
+_PATCH_DEPTH = 0
+_Q_MEMBER: Any = None  # saved slot descriptor while the patch is active
+
+
+def _checked_q_get(register: Register) -> Any:
+    ctx = _STRICT_CTX
+    if ctx is not None and register not in ctx.allowed_reads:
+        raise ContractViolationError(
+            f"component {ctx.component.name!r} read register "
+            f"{register.name!r} which it neither owns nor declares — an "
+            f"undeclared input is a fast-forward staleness race.  Fix: "
+            f"return it from {type(ctx.component).__name__}."
+            f"external_inputs(), or create it with make_register() if "
+            f"the component owns it."
+        )
+    return _Q_MEMBER.__get__(register, Register)
+
+
+def _checked_q_set(register: Register, value: Any) -> None:
+    _Q_MEMBER.__set__(register, value)
+
+
+def _push_strict_patch() -> None:
+    global _PATCH_DEPTH, _Q_MEMBER
+    if _PATCH_DEPTH == 0:
+        _Q_MEMBER = Register.q
+        Register.q = property(  # type: ignore[assignment]
+            _checked_q_get, _checked_q_set
+        )
+    _PATCH_DEPTH += 1
+
+
+def _pop_strict_patch() -> None:
+    global _PATCH_DEPTH, _STRICT_CTX, _Q_MEMBER
+    _PATCH_DEPTH -= 1
+    if _PATCH_DEPTH == 0:
+        Register.q = _Q_MEMBER  # type: ignore[assignment]
+        _Q_MEMBER = None
+        _STRICT_CTX = None
+
+
 class Kernel:
     """Owns components and advances the global clock.
 
@@ -222,7 +320,11 @@ class Kernel:
         evaluations: Total component evaluations performed.
     """
 
-    def __init__(self, mode: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        mode: Optional[str] = None,
+        strict_registers: Optional[bool] = None,
+    ) -> None:
         self.cycle = 0
         self.components: List[Component] = []
         self._extra_registers: List[Register] = []
@@ -234,6 +336,15 @@ class Kernel:
                 f"unknown kernel mode {mode!r}; expected one of {_MODES}"
             )
         self._mode = mode
+        if strict_registers is None:
+            strict_registers = default_strict_registers()
+        #: Verify the read/write contract of every evaluation (slow;
+        #: meant for tests — see the module docstring).
+        self.strict_registers = strict_registers
+        #: component -> (allowed reads, allowed writes); rebuilt lazily.
+        self._strict_sets: Dict[
+            Component, Tuple[FrozenSet[Register], FrozenSet[Register]]
+        ] = {}
         #: Registers driven during the current cycle (filled by drive()).
         self._dirty: List[Register] = []
         #: Registers whose q was latched non-idle at the previous edge.
@@ -266,6 +377,7 @@ class Kernel:
         if mode != self._mode:
             self._mode = mode
             self._watchers = None  # rebuild activity state on next step
+            self._strict_sets.clear()
 
     # -- construction --------------------------------------------------------
 
@@ -276,6 +388,7 @@ class Kernel:
         for register in component.registers:
             register._sink = self._dirty
         self._watchers = None
+        self._strict_sets.clear()
         return component
 
     def add_all(self, components: Iterable[Component]) -> None:
@@ -288,12 +401,14 @@ class Kernel:
         self._extra_registers.append(register)
         register._sink = self._dirty
         self._watchers = None
+        self._strict_sets.clear()
         return register
 
     def _adopt_register(self, register: Register) -> None:
         """Hook a register created after its component was added."""
         register._sink = self._dirty
         self._watchers = None
+        self._strict_sets.clear()
 
     def all_registers(self) -> List[Register]:
         """Every register latched by this kernel (components + extras)."""
@@ -314,6 +429,62 @@ class Kernel:
                 f"cannot schedule at cycle {cycle}; now at {self.cycle}"
             )
         self._callbacks.setdefault(cycle, []).append(callback)
+
+    # -- strict-registers contract checking -----------------------------------
+
+    @contextmanager
+    def _strict_stepping(self) -> Iterator[None]:
+        """Install the ``Register.q`` observation patch while stepping."""
+        if not self.strict_registers:
+            yield
+            return
+        _push_strict_patch()
+        try:
+            yield
+        finally:
+            _pop_strict_patch()
+
+    def _strict_allowed(
+        self, component: Component
+    ) -> Tuple[FrozenSet[Register], FrozenSet[Register]]:
+        """(allowed reads, allowed writes) of one component, cached."""
+        sets = self._strict_sets.get(component)
+        if sets is None:
+            own = frozenset(component.registers)
+            reads = own | frozenset(component.external_inputs())
+            writes = own | frozenset(self._extra_registers)
+            sets = (reads, writes)
+            self._strict_sets[component] = sets
+        return sets
+
+    def _evaluate_checked(self, component: Component, cycle: int) -> None:
+        """Evaluate one component under read/write observation.
+
+        Raises:
+            ContractViolationError: on an undeclared register read (via
+                the ``Register.q`` patch) or a drive of a register owned
+                by another component (checked against the dirty list the
+                evaluation appended to).
+        """
+        global _STRICT_CTX
+        reads, writes = self._strict_allowed(component)
+        before = len(self._dirty)
+        _STRICT_CTX = _StrictContext(component, reads)
+        try:
+            component.evaluate(cycle)
+        finally:
+            _STRICT_CTX = None
+        for register in self._dirty[before:]:
+            if register not in writes:
+                raise ContractViolationError(
+                    f"component {component.name!r} drove register "
+                    f"{register.name!r} which belongs to another "
+                    f"component — a double-drive hazard the runtime "
+                    f"collision check only catches when both drivers "
+                    f"fire in the same cycle.  Fix: drive only "
+                    f"registers created with make_register() or "
+                    f"free-standing link registers."
+                )
 
     # -- activity bookkeeping -------------------------------------------------
 
@@ -380,10 +551,14 @@ class Kernel:
         for callback in self._callbacks.pop(cycle, ()):  # stimuli
             callback(cycle)
         wake = self._wake
+        strict = self.strict_registers
         evaluated = 0
         for component in self.components:
             if component in wake:
-                component.evaluate(cycle)
+                if strict:
+                    self._evaluate_checked(component, cycle)
+                else:
+                    component.evaluate(cycle)
                 evaluated += 1
             else:
                 # Checked at the component's turn (not precomputed) so a
@@ -392,7 +567,10 @@ class Kernel:
                 # evaluation order.
                 nxt = component.next_evaluation(cycle)
                 if nxt is not None and nxt <= cycle:
-                    component.evaluate(cycle)
+                    if strict:
+                        self._evaluate_checked(component, cycle)
+                    else:
+                        component.evaluate(cycle)
                     evaluated += 1
         self.evaluations += evaluated
         # Dirty latch: only registers driven this cycle or still holding
@@ -420,17 +598,22 @@ class Kernel:
 
     def step(self, cycles: int = 1) -> None:
         """Advance the simulation by ``cycles`` clock cycles."""
-        if self._mode == NAIVE_MODE:
-            self._step_naive(cycles)
-        else:
-            self._step_activity(cycles)
+        with self._strict_stepping():
+            if self._mode == NAIVE_MODE:
+                self._step_naive(cycles)
+            else:
+                self._step_activity(cycles)
 
     def _step_naive(self, cycles: int) -> None:
+        strict = self.strict_registers
         for _ in range(cycles):
             for callback in self._callbacks.pop(self.cycle, ()):  # stimuli
                 callback(self.cycle)
             for component in self.components:
-                component.evaluate(self.cycle)
+                if strict:
+                    self._evaluate_checked(component, self.cycle)
+                else:
+                    component.evaluate(self.cycle)
             for component in self.components:
                 for register in component.registers:
                     register.latch()
@@ -476,25 +659,26 @@ class Kernel:
         """
         start = self.cycle
         limit = start + max_cycles
-        while not predicate():
-            if self.cycle >= limit:
-                raise SimulationError(
-                    f"condition not reached within {max_cycles} cycles"
-                )
-            if self._mode == NAIVE_MODE:
-                self._step_naive(1)
-            else:
-                if self._watchers is None:
-                    self._finalize()
-                nxt = self._next_active_cycle()
-                if nxt is None or nxt >= limit:
-                    self.fast_forwarded_cycles += limit - self.cycle
-                    self.cycle = limit
-                    continue
-                if nxt > self.cycle:
-                    self.fast_forwarded_cycles += nxt - self.cycle
-                    self.cycle = nxt
-                self._run_active_cycle()
+        with self._strict_stepping():
+            while not predicate():
+                if self.cycle >= limit:
+                    raise SimulationError(
+                        f"condition not reached within {max_cycles} cycles"
+                    )
+                if self._mode == NAIVE_MODE:
+                    self._step_naive(1)
+                else:
+                    if self._watchers is None:
+                        self._finalize()
+                    nxt = self._next_active_cycle()
+                    if nxt is None or nxt >= limit:
+                        self.fast_forwarded_cycles += limit - self.cycle
+                        self.cycle = limit
+                        continue
+                    if nxt > self.cycle:
+                        self.fast_forwarded_cycles += nxt - self.cycle
+                        self.cycle = nxt
+                    self._run_active_cycle()
         return self.cycle
 
     def reset(self) -> None:

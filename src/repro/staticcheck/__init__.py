@@ -1,0 +1,58 @@
+"""Static analysis for the repro code base.
+
+Two analyzer families guard the two fast paths whose correctness rests
+on convention:
+
+* the **kernel-contract auditor** (:mod:`repro.staticcheck.contract`) —
+  AST analysis proving every ``Component`` subclass declares the
+  registers its ``evaluate()`` actually reads and writes, so the
+  activity-driven kernel's fast-forward can never sleep through an
+  input change (rules ``KC...``), plus determinism (``DT...``) and
+  error-hygiene (``ER...``) rules;
+* the **schedule model-checker** (:mod:`repro.staticcheck.schedule`) —
+  re-derives, hop by hop, the slot-table state a configured network
+  must hold from its live allocation handles and compares cell by cell
+  (rules ``SC...``).
+
+Run the file rules with ``python -m repro.staticcheck [paths]``; call
+:func:`verify_network_state` from tests and examples after configuring
+a network.  The dynamic counterpart of the auditor is the kernel's
+``strict_registers`` mode (:class:`repro.sim.kernel.Kernel`).
+"""
+
+from .cli import check_paths, iter_source_files, main
+from .contract import ClassTable, audit_component, audit_contracts
+from .findings import (
+    Finding,
+    Severity,
+    Suppression,
+    SuppressionIndex,
+    sort_findings,
+)
+from .registry import FileContext, Rule, all_rules, run_file_rules
+from .schedule import (
+    check_aelite_state,
+    check_daelite_state,
+    verify_network_state,
+)
+
+__all__ = [
+    "ClassTable",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "SuppressionIndex",
+    "all_rules",
+    "audit_component",
+    "audit_contracts",
+    "check_aelite_state",
+    "check_daelite_state",
+    "check_paths",
+    "iter_source_files",
+    "main",
+    "run_file_rules",
+    "sort_findings",
+    "verify_network_state",
+]

@@ -1,0 +1,13 @@
+"""Module entry point: ``python -m repro.staticcheck``."""
+
+import signal
+import sys
+
+from .cli import main
+
+# Die quietly when the output is piped into a pager that exits early
+# (`... --list-rules | head`), like any other command-line filter.
+if hasattr(signal, "SIGPIPE"):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+sys.exit(main())

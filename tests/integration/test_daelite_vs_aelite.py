@@ -13,6 +13,7 @@ from repro.aelite import AeliteNetwork
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import aelite_parameters, daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_config_tree, build_mesh
 
 
@@ -27,6 +28,7 @@ def run_daelite(slot_table_size, words, forward_slots=2):
     )
     net = DaeliteNetwork(topology, params)
     handle = net.configure(conn)
+    verify_network_state(net, [handle])
     net.ni("NI00").submit_words(
         handle.forward.src_channel, list(range(words)), "c"
     )
@@ -52,6 +54,7 @@ def run_aelite(slot_table_size, words, forward_slots=2):
     )
     net = AeliteNetwork(topology, params)
     handle = net.install_connection(conn)
+    verify_network_state(net, [handle])
     net.ni("NI00").submit_words(
         handle.forward.src_connection, list(range(words)), label="c"
     )

@@ -12,6 +12,7 @@ import pytest
 from repro.alloc import ConnectionRequest, MulticastRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_ring, build_torus
 
 from ..conftest import pump_until_delivered
@@ -31,6 +32,7 @@ class TestRing:
         )
         net = DaeliteNetwork(ring, params, host_ni="NI0")
         handle = net.configure(conn)
+        verify_network_state(net, [handle])
         net.ni("NI0").submit_words(
             handle.forward.src_channel, list(range(25)), "r"
         )
@@ -54,6 +56,7 @@ class TestRing:
         net = DaeliteNetwork(ring, params, host_ni="NI0")
         cw_handle = net.configure(clockwise)
         ccw_handle = net.configure(counter)
+        verify_network_state(net, [cw_handle, ccw_handle])
         net.ni("NI0").submit_words(
             cw_handle.forward.src_channel, [1, 2], "cw"
         )
@@ -75,6 +78,7 @@ class TestRing:
         )
         net = DaeliteNetwork(ring, params, host_ni="NI0")
         handle = net.configure_multicast(tree)
+        verify_network_state(net, [handle])
         net.ni("NI0").submit_words(
             handle.src_channel, [7, 8, 9], "m"
         )
@@ -96,6 +100,7 @@ class TestTorus:
         assert conn.forward.hops == 3
         net = DaeliteNetwork(torus, params, host_ni="NI11")
         handle = net.configure(conn)
+        verify_network_state(net, [handle])
         net.ni("NI00").submit_words(
             handle.forward.src_channel, [5], "t"
         )

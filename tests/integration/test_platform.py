@@ -21,6 +21,7 @@ from repro.alloc import (
 from repro.analysis import worst_case_latency_cycles
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 from repro.traffic import CbrGenerator, DrainSink, ThrottledSink
 
@@ -55,6 +56,9 @@ class TestMixedWorkload:
         video_handle = net.configure(video)
         cache_handle = net.configure(cache)
         sync_handle = net.configure_multicast(sync)
+        verify_network_state(
+            net, [video_handle, cache_handle, sync_handle]
+        )
 
         video_src = net.ni("NI00")
         generator = CbrGenerator(
@@ -121,6 +125,7 @@ class TestMixedWorkload:
         net = DaeliteNetwork(mesh, params, host_ni="NI11")
         heavy_handle = net.configure(heavy)
         light_handle = net.configure(light)
+        verify_network_state(net, [heavy_handle, light_handle])
         heavy_src = net.ni("NI00")
         for payload in range(600):
             heavy_src.submit(

@@ -1,0 +1,199 @@
+"""The schedule model-checker against configured daelite and aelite
+networks — clean state passes, every planted mutation is caught."""
+
+import pytest
+
+from repro.alloc import (
+    AllocatedChannel,
+    ConnectionRequest,
+    MulticastRequest,
+    SlotAllocator,
+)
+from repro.aelite.network import AeliteNetwork
+from repro.core.host import ChannelEndpoints
+from repro.core.network import DaeliteNetwork
+from repro.errors import ScheduleError, StaticCheckError
+from repro.params import aelite_parameters
+from repro.staticcheck import (
+    check_aelite_state,
+    check_daelite_state,
+    verify_network_state,
+)
+from repro.topology import build_mesh
+
+
+@pytest.fixture()
+def daelite():
+    topology = build_mesh(2, 2)
+    nis = [element.name for element in topology.nis]
+    network = DaeliteNetwork(topology)
+    allocator = SlotAllocator(topology, network.params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest("c0", nis[0], nis[3], 2, 1)
+    )
+    handle = network.configure(connection)
+    tree = allocator.allocate_multicast(
+        MulticastRequest("mc", nis[1], (nis[0], nis[2]), 1)
+    )
+    mc_handle = network.configure_multicast(tree)
+    return network, [handle, mc_handle]
+
+
+def _first_programmed_entry(network):
+    for router in network.routers.values():
+        table = router.slot_table
+        for output in range(table.ports):
+            for slot in range(table.size):
+                if table.entry(output, slot) is not None:
+                    return router, output, slot
+    raise AssertionError("no programmed router entry found")
+
+
+def test_daelite_clean_state_passes(daelite):
+    network, handles = daelite
+    assert verify_network_state(network, handles) == []
+
+
+def test_daelite_missing_entry_is_caught(daelite):
+    network, handles = daelite
+    router, output, slot = _first_programmed_entry(network)
+    router.slot_table.clear_entry(output, slot)
+    findings = verify_network_state(
+        network, handles, raise_on_error=False
+    )
+    assert {f.rule for f in findings} == {"SC001"}
+    assert router.name in findings[0].message
+    with pytest.raises(ScheduleError):
+        verify_network_state(network, handles)
+
+
+def test_daelite_wrong_entry_is_caught(daelite):
+    network, handles = daelite
+    router, output, slot = _first_programmed_entry(network)
+    original = router.slot_table.entry(output, slot)
+    router.slot_table.clear_entry(output, slot)
+    router.slot_table.set_entry(
+        output, slot, (original + 1) % router.slot_table.ports
+    )
+    findings = verify_network_state(
+        network, handles, raise_on_error=False
+    )
+    assert {f.rule for f in findings} == {"SC002"}
+
+
+def test_daelite_orphan_entry_is_caught(daelite):
+    network, handles = daelite
+    router, output, slot = _first_programmed_entry(network)
+    table = router.slot_table
+    free = next(
+        s for s in range(table.size) if table.entry(output, s) is None
+    )
+    table.set_entry(output, free, 0)
+    findings = verify_network_state(
+        network, handles, raise_on_error=False
+    )
+    assert {f.rule for f in findings} == {"SC003"}
+
+
+def test_daelite_orphan_ni_slot_is_caught(daelite):
+    network, handles = daelite
+    ni = next(iter(network.nis.values()))
+    table = ni.injection_table
+    free = next(
+        s for s in range(table.size) if table.channel(s) is None
+    )
+    table.set_slot(free, 7)
+    findings = verify_network_state(
+        network, handles, raise_on_error=False
+    )
+    assert any(
+        f.rule == "SC003" and "injection" in f.message
+        for f in findings
+    )
+
+
+def test_daelite_incomplete_handles_surface_as_orphans(daelite):
+    network, handles = daelite
+    findings = check_daelite_state(network, handles[:1])
+    assert findings
+    assert {f.rule for f in findings} == {"SC003"}
+
+
+def test_daelite_double_booking_is_caught(daelite):
+    network, handles = daelite
+    connection = handles[0]
+    forward = connection.forward.channel
+    clone = AllocatedChannel(
+        label="intruder",
+        path=forward.path,
+        slots=forward.slots,
+        slot_table_size=forward.slot_table_size,
+    )
+    intruder = ChannelEndpoints(
+        channel=clone, src_channel=9, dst_channel=9
+    )
+    findings = check_daelite_state(network, handles + [intruder])
+    assert any(f.rule == "SC004" for f in findings)
+
+
+@pytest.fixture()
+def aelite():
+    topology = build_mesh(2, 2)
+    nis = [element.name for element in topology.nis]
+    params = aelite_parameters()
+    network = AeliteNetwork(topology, params)
+    allocator = SlotAllocator(topology, params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest("c0", nis[0], nis[3], 2, 1)
+    )
+    handle = network.install_connection(connection)
+    return network, connection, [handle]
+
+
+def test_aelite_clean_state_passes(aelite):
+    network, _, handles = aelite
+    assert verify_network_state(network, handles) == []
+
+
+def test_aelite_missing_injection_slot_is_caught(aelite):
+    network, connection, handles = aelite
+    source_ni = network.ni(connection.forward.src_ni)
+    slot = sorted(connection.forward.slots)[0]
+    source_ni.injection_table.clear_slot(slot)
+    findings = check_aelite_state(network, handles)
+    assert {f.rule for f in findings} == {"SC001"}
+
+
+def test_aelite_wrong_path_ports_are_caught(aelite):
+    network, connection, handles = aelite
+    handle = handles[0]
+    source = network.ni(connection.forward.src_ni).sources[
+        handle.forward.src_connection
+    ]
+    source.path_ports = tuple(
+        port + 1 for port in source.path_ports
+    ) or (99,)
+    findings = check_aelite_state(network, handles)
+    assert any(
+        f.rule == "SC005" and "path ports" in f.message
+        for f in findings
+    )
+
+
+def test_aelite_disabled_source_is_caught(aelite):
+    network, connection, handles = aelite
+    handle = handles[0]
+    source = network.ni(connection.forward.src_ni).sources[
+        handle.forward.src_connection
+    ]
+    source.enabled = False
+    findings = check_aelite_state(network, handles)
+    assert any(
+        f.rule == "SC005" and "not enabled" in f.message
+        for f in findings
+    )
+
+
+def test_unknown_network_shape_is_rejected():
+    with pytest.raises(StaticCheckError):
+        verify_network_state(object(), [])
