@@ -83,6 +83,15 @@ def xy_path(
     for name in path:
         if not deduped or deduped[-1] != name:
             deduped.append(name)
+    # XY is computed from grid coordinates, so unlike the graph-based
+    # routers it must check explicitly that no hop crosses a failed (or
+    # otherwise absent) link.
+    for u, v in zip(deduped, deduped[1:]):
+        if not topology.graph.has_edge(u, v):
+            raise RoutingError(
+                f"XY route {u!r} -> {v!r} crosses a failed or missing "
+                f"link"
+            )
     return tuple(deduped)
 
 

@@ -966,19 +966,24 @@ class SlotAllocator:
     # -- connections ------------------------------------------------------------------
 
     def allocate_connection(
-        self, request: ConnectionRequest
+        self,
+        request: ConnectionRequest,
+        path: Optional[Sequence[str]] = None,
     ) -> AllocatedConnection:
         """Allocate the forward and reverse channels of a connection.
 
         The reverse channel uses the reversed forward path, so both
         directions traverse the same physical route (as daelite's paired
-        credit wiring expects).  On failure nothing stays claimed — the
+        credit wiring expects).  ``path`` overrides the routing policy
+        for the forward direction — fault recovery uses it to steer a
+        re-allocated connection around a failed link when the policy
+        route is unusable.  On failure nothing stays claimed — the
         forward channel's speculative claims are rolled back in one
         ledger operation.
         """
         token = self.ledger.snapshot()
         try:
-            forward = self.allocate_channel(request.forward)
+            forward = self.allocate_channel(request.forward, path=path)
             reverse = self.allocate_channel(
                 request.reverse, path=tuple(reversed(forward.path))
             )

@@ -19,10 +19,11 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, List, Optional
 
-from ..errors import ConfigurationError
+from ..errors import ConfigTimeoutError, ConfigurationError
 from ..params import NetworkParameters
 from ..sim.kernel import Component
 from ..sim.link import NarrowLink
+from ..sim.stats import FAULT_DETECTED, StatsCollector
 from ..topology import CONFIG_HOP_CYCLES, ConfigTree
 from .config_protocol import ConfigPacket, Opcode
 
@@ -37,8 +38,21 @@ class ConfigRequest:
         submitted_at: Cycle the host handed the packet to the module.
         started_at: Cycle the first word left the module.
         finished_at: Cycle the request fully completed (cool-down elapsed
-            and, for reads, all responses received).
+            and, for reads, all responses received) — or was abandoned
+            after exhausting its retries (see :attr:`failed`).
         responses: Response words received, in order.
+        timeout_cycles: Cycles to wait, after the last word leaves the
+            module, for the expected responses before re-sending.
+            ``None`` (the default) waits forever — the correct setting
+            for a fault-free network, where a missing response is a
+            model bug, not an operational condition.
+        max_retries: Re-sends allowed after the first transmission.
+            Re-sending is idempotent: configuration writes set absolute
+            register/table values, so applying a packet twice equals
+            applying it once.
+        attempts: Transmissions so far (1 = the original send).
+        failed: True once every retry timed out; the request is then
+            finished (so waiters unblock) but unsuccessful.
     """
 
     packet: ConfigPacket
@@ -48,10 +62,23 @@ class ConfigRequest:
     finished_at: int = -1
     responses: List[int] = field(default_factory=list)
     on_complete: Optional[Callable[["ConfigRequest"], None]] = None
+    timeout_cycles: Optional[int] = None
+    max_retries: int = 0
+    attempts: int = 1
+    failed: bool = False
 
     @property
     def done(self) -> bool:
         return self.finished_at >= 0
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.ConfigTimeoutError` if abandoned."""
+        if self.failed:
+            raise ConfigTimeoutError(
+                f"request {self.packet.description!r} abandoned after "
+                f"{self.attempts} attempts "
+                f"(timeout {self.timeout_cycles} cycles)"
+            )
 
     @property
     def setup_cycles(self) -> int:
@@ -89,7 +116,15 @@ class ConfigModule(Component):
         self._active: Optional[ConfigRequest] = None
         self._word_queue: Deque[int] = deque()
         self._busy_until = 0
+        self._deadline: Optional[int] = None
         self.completed: List[ConfigRequest] = []
+        #: Optional stats collector (set by the network builder);
+        #: timeouts and retries are recorded there as detected faults.
+        self.stats: Optional[StatsCollector] = None
+        #: Default timeout/retry budget applied by :meth:`submit` when
+        #: the caller does not specify one (set by the fault injector).
+        self.default_timeout_cycles: Optional[int] = None
+        self.default_max_retries: int = 0
 
     # -- host-facing API -------------------------------------------------------
 
@@ -99,11 +134,15 @@ class ConfigModule(Component):
         cycle: int,
         expected_responses: Optional[int] = None,
         on_complete: Optional[Callable[[ConfigRequest], None]] = None,
+        timeout_cycles: Optional[int] = None,
+        max_retries: Optional[int] = None,
     ) -> ConfigRequest:
         """Queue a configuration packet for transmission.
 
         ``expected_responses`` defaults to 1 for CHANNEL_READ packets and
-        0 otherwise.
+        0 otherwise.  ``timeout_cycles``/``max_retries`` default to the
+        module-wide :attr:`default_timeout_cycles` /
+        :attr:`default_max_retries` budget.
         """
         if expected_responses is None:
             expected_responses = (
@@ -114,6 +153,16 @@ class ConfigModule(Component):
             expected_responses=expected_responses,
             submitted_at=cycle,
             on_complete=on_complete,
+            timeout_cycles=(
+                timeout_cycles
+                if timeout_cycles is not None
+                else self.default_timeout_cycles
+            ),
+            max_retries=(
+                max_retries
+                if max_retries is not None
+                else self.default_max_retries
+            ),
         )
         self._pending.append(request)
         return request
@@ -174,13 +223,67 @@ class ConfigModule(Component):
                     + self.commit_latency
                     + self.params.cooldown_cycles
                 )
+                self._deadline = (
+                    cycle + 1 + self._active.timeout_cycles
+                    if self._active.timeout_cycles is not None
+                    else None
+                )
             return
         # Transmission finished; wait for cool-down and responses.
         responses_done = (
             len(self._active.responses) >= self._active.expected_responses
         )
+        if not responses_done and self._timed_out(cycle):
+            return
         if cycle >= self._busy_until and responses_done:
             self._finish(cycle)
+
+    def _timed_out(self, cycle: int) -> bool:
+        """Handle a response deadline; True if a retry was scheduled or
+        the request was abandoned this cycle."""
+        request = self._active
+        assert request is not None
+        if self._deadline is None or cycle < self._deadline:
+            return False
+        if self.stats is not None:
+            self.stats.record_fault(
+                cycle,
+                FAULT_DETECTED,
+                "config_timeout",
+                self.name,
+                f"attempt {request.attempts}: "
+                f"{request.packet.description}",
+            )
+        if request.attempts <= request.max_retries:
+            request.attempts += 1
+            # Idempotent re-send: replay the identical word stream.  Any
+            # partial responses of the failed attempt are discarded so
+            # the retry's own response is the one collected.
+            request.responses.clear()
+            self._word_queue.extend(request.packet.words)
+            self._deadline = None
+            if self.stats is not None:
+                self.stats.record_fault(
+                    cycle,
+                    FAULT_DETECTED,
+                    "config_retry",
+                    self.name,
+                    f"attempt {request.attempts}: "
+                    f"{request.packet.description}",
+                )
+            return True
+        request.failed = True
+        if self.stats is not None:
+            self.stats.record_fault(
+                cycle,
+                FAULT_DETECTED,
+                "config_failed",
+                self.name,
+                f"after {request.attempts} attempts: "
+                f"{request.packet.description}",
+            )
+        self._finish(cycle)
+        return True
 
     def _collect_response(self, cycle: int) -> None:
         if self.response_link is None or self._active is None:
@@ -189,6 +292,19 @@ class ConfigModule(Component):
         if word is None:
             return
         if len(self._active.responses) >= self._active.expected_responses:
+            if self._active.attempts > 1:
+                # A late response from a timed-out attempt arriving on
+                # top of the retry's own: drop it (the values are equal
+                # — reads are idempotent too).
+                if self.stats is not None:
+                    self.stats.record_fault(
+                        cycle,
+                        FAULT_DETECTED,
+                        "stale_response",
+                        self.name,
+                        f"word {word:#x} discarded",
+                    )
+                return
             raise ConfigurationError(
                 f"{self.name}: unexpected response word {word:#x}"
             )
@@ -197,6 +313,7 @@ class ConfigModule(Component):
     def _finish(self, cycle: int) -> None:
         assert self._active is not None
         self._active.finished_at = cycle
+        self._deadline = None
         self.completed.append(self._active)
         if self._active.on_complete is not None:
             self._active.on_complete(self._active)

@@ -17,13 +17,17 @@ real hardware would suffer.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
-from ..errors import SimulationError
+from ..errors import ReproError, SimulationError
 from ..sim.kernel import Component, Register
 from ..sim.link import NarrowLink
 from ..topology import ElementKind
 from .config_protocol import Action, ConfigDecoder
+
+#: A fault monitor: called with (cycle, error) when a corrupted word
+#: stream breaks the decoder (or a decoded action cannot be applied).
+FaultMonitor = Callable[[int, ReproError], None]
 
 
 class ConfigPort:
@@ -61,6 +65,14 @@ class ConfigPort:
         )
         #: Response words queued by the owning element (read results).
         self.response_queue: Deque[int] = deque()
+        #: Optional fault monitor.  When ``None`` (the default) protocol
+        #: errors propagate and crash the simulation — the right call
+        #: for a healthy network, where they indicate a model bug.  With
+        #: a monitor installed (by :class:`repro.faults.FaultInjector`),
+        #: a corrupted packet is *survivable*: the error is reported,
+        #: the decoder resets, and the element resynchronizes on the
+        #: next packet header.
+        self.fault_monitor: Optional[FaultMonitor] = None
 
     @property
     def pending(self) -> bool:
@@ -113,4 +125,34 @@ class ConfigPort:
         if response is not None and self.resp_out_link is not None:
             self.resp_out_link.send(response)
 
-        return self.decoder.feed(word)
+        try:
+            return self.decoder.feed(word)
+        except ReproError as error:
+            if self.fault_monitor is None:
+                raise
+            self.fault_monitor(cycle, error)
+            self.decoder.reset()
+            return []
+
+    def apply_guarded(
+        self,
+        cycle: int,
+        actions: List[Action],
+        apply: Callable[[Action], None],
+    ) -> None:
+        """Apply decoded actions, reporting failures to the monitor.
+
+        A corrupted packet can decode into actions the element cannot
+        honour (e.g. a slot-table write that conflicts with an existing
+        entry).  Without a monitor the error propagates as usual; with
+        one, the failing action is skipped and recorded — subsequent
+        actions still apply, mirroring hardware, where each action is an
+        independent register write.
+        """
+        for action in actions:
+            try:
+                apply(action)
+            except ReproError as error:
+                if self.fault_monitor is None:
+                    raise
+                self.fault_monitor(cycle, error)

@@ -420,8 +420,19 @@ class ConfigDecoder:
         self._matched = False
         self._channel_ref: Optional[tuple] = None
         self._field: Optional[ChannelField] = None
+        self._pairs_seen = 0
+        self._fields_seen = 0
         self._bus_payload: List[int] = []
         self._actions: List[Action] = []
+
+    def reset(self) -> None:
+        """Abandon any packet in progress and return to IDLE.
+
+        Fault-recovery entry point: after a :class:`ProtocolError` the
+        FSM state is unreliable, so a monitor resets the decoder and
+        lets it re-synchronize on the next packet header.
+        """
+        self._reset_packet()
 
     @property
     def busy(self) -> bool:
@@ -435,7 +446,9 @@ class ConfigDecoder:
         cycle that terminates a packet addressed to this element.
 
         Raises:
-            ProtocolError: on malformed packets.
+            ProtocolError: on malformed packets, including words that do
+                not fit the configuration link width (an impossible
+                input from a healthy serializer).
         """
         if word is None:
             if self._state is _State.IDLE:
@@ -443,6 +456,11 @@ class ConfigDecoder:
             actions = self._finish_packet()
             self._reset_packet()
             return actions
+        if not 0 <= word < (1 << self.word_bits):
+            raise ProtocolError(
+                f"config word {word:#x} outside the "
+                f"{self.word_bits}-bit range"
+            )
         self._consume(word)
         return []
 
@@ -471,6 +489,7 @@ class ConfigDecoder:
         elif state is _State.PAIR_ID:
             self._pending_payload = None
             self._matched = word == self.element_id
+            self._pairs_seen += 1
             self._state = _State.PAIR_DATA
         elif state is _State.PAIR_DATA:
             if self._matched:
@@ -486,15 +505,26 @@ class ConfigDecoder:
             self._channel_ref = decode_ni_channel_word(word)
             self._state = _State.CH_FIELD
         elif state is _State.CH_FIELD:
+            if (
+                self._opcode is Opcode.CHANNEL_READ
+                and self._fields_seen > 0
+            ):
+                # One response word comes back per packet, so a second
+                # field word cannot be honoured — previously it decoded
+                # as a second read and corrupted the response path.
+                raise ProtocolError(
+                    "CHANNEL_READ packet carries more than one field word"
+                )
             try:
                 self._field = ChannelField(word)
             except ValueError:
                 raise ProtocolError(
                     f"unknown channel field code {word}"
                 ) from None
+            self._fields_seen += 1
             if self._opcode is Opcode.CHANNEL_READ:
                 self._record_read_action()
-                self._state = _State.CH_FIELD  # further reads disallowed
+                self._state = _State.CH_FIELD
             else:
                 self._state = _State.CH_VALUE
         elif state is _State.CH_VALUE:
@@ -607,6 +637,29 @@ class ConfigDecoder:
             )
         if self._state is _State.MASK:
             raise ProtocolError("path packet ended inside the slot mask")
+        if self._state is _State.PAIR_ID and self._pairs_seen == 0:
+            raise ProtocolError(
+                "path packet ended without any (element, port) pair"
+            )
+        if self._state is _State.CH_ELEMENT:
+            raise ProtocolError(
+                "channel packet ended before its element ID"
+            )
+        if self._state is _State.CH_CHANNEL:
+            raise ProtocolError(
+                "channel packet ended before its channel word"
+            )
+        if (
+            self._opcode is Opcode.CHANNEL_READ
+            and self._fields_seen == 0
+        ):
+            raise ProtocolError(
+                "CHANNEL_READ packet ended before its field word"
+            )
+        if self._state is _State.BUS_ELEMENT:
+            raise ProtocolError(
+                "bus packet ended before its element ID"
+            )
         if self._bus_payload:
             self._actions.append(
                 BusConfigAction(payload=tuple(self._bus_payload))

@@ -18,7 +18,7 @@ into an unconfigured path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..alloc.spec import (
     AllocatedChannel,
@@ -94,6 +94,9 @@ class ConnectionHandle(SetupHandle):
 
     forward: Optional[ChannelEndpoints] = None
     reverse: Optional[ChannelEndpoints] = None
+    #: Set by :meth:`Host.teardown_connection`; a second tear-down of
+    #: the same handle raises instead of corrupting table state.
+    torn_down: bool = False
 
 
 @dataclass
@@ -103,6 +106,7 @@ class MulticastHandle(SetupHandle):
     tree: Optional[AllocatedMulticast] = None
     src_channel: int = -1
     dst_channels: Dict[str, int] = field(default_factory=dict)
+    torn_down: bool = False
 
 
 class Host:
@@ -176,10 +180,51 @@ class Host:
         the four endpoints; the forward source channel is enabled last.
         """
         handle = ConnectionHandle(label=connection.label)
-        forward = self._endpoints(connection.forward)
-        reverse = self._endpoints(connection.reverse)
-        handle.forward = forward
-        handle.reverse = reverse
+        handle.forward = self._endpoints(connection.forward)
+        handle.reverse = self._endpoints(connection.reverse)
+        self._submit_connection_packets(handle, connection)
+        return handle
+
+    def replay_connection(
+        self,
+        handle: ConnectionHandle,
+        connection: AllocatedConnection,
+    ) -> SetupHandle:
+        """Re-send the set-up packets of an established connection.
+
+        Recovery path for soft faults (slot-table upsets, lost config
+        words): every packet writes absolute values to the same channel
+        indices, so the replay is idempotent — correct state is
+        untouched and corrupted entries are rewritten.
+
+        Raises:
+            ConfigurationError: if the handle was never fully set up or
+                is already torn down.
+        """
+        if handle.forward is None or handle.reverse is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        if handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is already torn down"
+            )
+        replay = ConnectionHandle(
+            label=f"{handle.label}.replay",
+            forward=handle.forward,
+            reverse=handle.reverse,
+        )
+        self._submit_connection_packets(replay, connection)
+        return replay
+
+    def _submit_connection_packets(
+        self,
+        handle: ConnectionHandle,
+        connection: AllocatedConnection,
+    ) -> None:
+        forward = handle.forward
+        reverse = handle.reverse
+        assert forward is not None and reverse is not None
         self._submit(
             handle,
             channel_path_packet(
@@ -242,16 +287,32 @@ class Host:
             paired=reverse.dst_channel,
             credits=self._buffer_words,
         )
-        return handle
 
     def teardown_connection(
         self, handle: ConnectionHandle, connection: AllocatedConnection
     ) -> SetupHandle:
-        """Disable both source endpoints, then clear the path entries."""
+        """Disable both source endpoints, then clear the path entries.
+
+        Raises:
+            ConfigurationError: if the handle was never fully set up,
+                its set-up has not completed yet, or it was already torn
+                down — a double tear-down would free channel indices
+                twice and clear slots now owned by another connection.
+        """
         if handle.forward is None or handle.reverse is None:
             raise ConfigurationError(
                 f"{handle.label!r} was never fully set up"
             )
+        if not handle.done:
+            raise ConfigurationError(
+                f"{handle.label!r}: set-up still in flight — run the "
+                f"network until it completes before tearing down"
+            )
+        if handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is already torn down"
+            )
+        handle.torn_down = True
         teardown = SetupHandle(label=f"{handle.label}.teardown")
         for endpoints, channel in (
             (handle.forward, connection.forward),
@@ -345,6 +406,37 @@ class Host:
         handle.src_channel = self.allocate_channel_index(tree.src_ni)
         for dst in tree.dst_nis:
             handle.dst_channels[dst] = self.allocate_channel_index(dst)
+        self._submit_multicast_packets(handle, tree)
+        return handle
+
+    def replay_multicast(self, handle: MulticastHandle) -> SetupHandle:
+        """Re-send the set-up packets of an established multicast tree
+        (idempotent, like :meth:`replay_connection`).
+
+        Raises:
+            ConfigurationError: if the handle was never fully set up or
+                is already torn down.
+        """
+        if handle.tree is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        if handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is already torn down"
+            )
+        replay = MulticastHandle(
+            label=f"{handle.label}.replay",
+            tree=handle.tree,
+            src_channel=handle.src_channel,
+            dst_channels=dict(handle.dst_channels),
+        )
+        self._submit_multicast_packets(replay, handle.tree)
+        return replay
+
+    def _submit_multicast_packets(
+        self, handle: MulticastHandle, tree: AllocatedMulticast
+    ) -> None:
         for packet in multicast_path_packets(
             self.topology,
             tree,
@@ -368,14 +460,29 @@ class Host:
             channel=handle.src_channel,
             flags=FLAG_ENABLED,
         )
-        return handle
 
     def teardown_multicast(self, handle: MulticastHandle) -> SetupHandle:
-        """Disable the source, then clear trunk and branch entries."""
+        """Disable the source, then clear trunk and branch entries.
+
+        Raises:
+            ConfigurationError: if the handle was never fully set up,
+                its set-up has not completed yet, or it was already
+                torn down (see :meth:`teardown_connection`).
+        """
         if handle.tree is None:
             raise ConfigurationError(
                 f"{handle.label!r} was never fully set up"
             )
+        if not handle.done:
+            raise ConfigurationError(
+                f"{handle.label!r}: set-up still in flight — run the "
+                f"network until it completes before tearing down"
+            )
+        if handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is already torn down"
+            )
+        handle.torn_down = True
         teardown = SetupHandle(label=f"{handle.label}.teardown")
         self._configure_endpoint(
             teardown,
@@ -428,8 +535,15 @@ class Host:
         direction: Direction,
         channel: int,
         register: ChannelField,
+        timeout_cycles: Optional[int] = None,
+        max_retries: Optional[int] = None,
     ) -> ConfigRequest:
-        """Read back one NI channel register over the response path."""
+        """Read back one NI channel register over the response path.
+
+        ``timeout_cycles``/``max_retries`` bound the wait for the
+        response word (see :class:`ConfigRequest`); by default the
+        module-wide budget applies.
+        """
         packet = build_channel_read_packet(
             element_id=self.topology.element(ni).element_id,
             direction=direction,
@@ -438,8 +552,67 @@ class Host:
             word_bits=self.params.config_word_bits,
         )
         return self.module.submit(
-            packet, cycle=self._cycle(), expected_responses=1
+            packet,
+            cycle=self._cycle(),
+            expected_responses=1,
+            timeout_cycles=timeout_cycles,
+            max_retries=max_retries,
         )
+
+    def verify_connection_requests(
+        self,
+        handle: ConnectionHandle,
+        connection: AllocatedConnection,
+        timeout_cycles: Optional[int] = None,
+        max_retries: Optional[int] = None,
+    ) -> List[Tuple[ConfigRequest, int]]:
+        """Read back the FLAGS register of all four channel endpoints.
+
+        Returns (request, expected value) pairs; once the requests
+        complete, any mismatch means the set-up did not commit as
+        intended (lost or corrupted configuration words) and the
+        connection should be replayed.
+
+        Raises:
+            ConfigurationError: if the handle was never fully set up.
+        """
+        if handle.forward is None or handle.reverse is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        expected = FLAG_ENABLED | FLAG_FLOW_CONTROLLED
+        reads = []
+        for endpoints, channel in (
+            (handle.forward, connection.forward),
+            (handle.reverse, connection.reverse),
+        ):
+            reads.append(
+                (
+                    self.read_channel_register(
+                        channel.src_ni,
+                        Direction.INJECT,
+                        endpoints.src_channel,
+                        ChannelField.FLAGS,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries,
+                    ),
+                    expected,
+                )
+            )
+            reads.append(
+                (
+                    self.read_channel_register(
+                        channel.dst_ni,
+                        Direction.ARRIVE,
+                        endpoints.dst_channel,
+                        ChannelField.FLAGS,
+                        timeout_cycles=timeout_cycles,
+                        max_retries=max_retries,
+                    ),
+                    expected,
+                )
+            )
+        return reads
 
     def configure_bus(self, ni: str, payload: List[int]) -> ConfigRequest:
         """Send raw configuration words to an NI's bus-config shell."""

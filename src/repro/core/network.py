@@ -74,6 +74,9 @@ class DaeliteNetwork:
         self.routers: Dict[str, Router] = {}
         self.nis: Dict[str, NetworkInterface] = {}
         self.links: Dict[tuple, Link] = {}
+        #: Narrow links of the config tree by name (``cfg.*`` forward,
+        #: ``rsp.*`` response) — the fault injector's config targets.
+        self.config_links: Dict[str, NarrowLink] = {}
         self._build_elements(strict)
         self._wire_data_links()
         self.config_tree: ConfigTree = build_config_tree(
@@ -98,6 +101,7 @@ class DaeliteNetwork:
             if element.kind is ElementKind.ROUTER:
                 router = Router(element, self.params, strict=strict)
                 router.tracer = self.tracer
+                router.stats = self.stats
                 self.routers[element.name] = router
                 self.kernel.add(router)
             else:
@@ -135,13 +139,16 @@ class DaeliteNetwork:
 
     def _wire_config_tree(self) -> None:
         width = self.params.config_word_bits
+        self.config_module.stats = self.stats
         root_port = self._config_port_of(self.config_tree.root)
         root_fwd = NarrowLink(f"cfg.module->{self.config_tree.root}", width)
         self.kernel.add_register(root_fwd.register)
+        self.config_links[root_fwd.name] = root_fwd
         self.config_module.root_link = root_fwd
         root_port.in_link = root_fwd
         root_rsp = NarrowLink(f"rsp.{self.config_tree.root}->module", width)
         self.kernel.add_register(root_rsp.register)
+        self.config_links[root_rsp.name] = root_rsp
         root_port.resp_out_link = root_rsp
         self.config_module.response_link = root_rsp
         for parent in self.config_tree.nodes:
@@ -150,10 +157,12 @@ class DaeliteNetwork:
                 child_port = self._config_port_of(child)
                 fwd = NarrowLink(f"cfg.{parent}->{child}", width)
                 self.kernel.add_register(fwd.register)
+                self.config_links[fwd.name] = fwd
                 parent_port.child_links.append(fwd)
                 child_port.in_link = fwd
                 rsp = NarrowLink(f"rsp.{child}->{parent}", width)
                 self.kernel.add_register(rsp.register)
+                self.config_links[rsp.name] = rsp
                 child_port.resp_out_link = rsp
                 parent_port.resp_child_links.append(rsp)
 

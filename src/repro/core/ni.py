@@ -26,7 +26,7 @@ from ..params import NetworkParameters
 from ..sim.flit import Phit, Word
 from ..sim.kernel import Component, Register
 from ..sim.link import Link
-from ..sim.stats import StatsCollector
+from ..sim.stats import FAULT_DETECTED, StatsCollector
 from ..sim.trace import NULL_TRACER, Tracer
 from ..topology import Element, ElementKind
 from .config_port import ConfigPort
@@ -132,6 +132,7 @@ class NetworkInterface(Component):
             payload=payload,
             connection=connection or f"{self.name}.ch{channel}",
             sequence=sequence,
+            parity=bin(payload).count("1") & 1,
         )
         self.source_channel(channel).queue.append(word)
         return word
@@ -211,8 +212,9 @@ class NetworkInterface(Component):
     def evaluate(self, cycle: int) -> None:
         self._handle_arrival(cycle)
         self._handle_injection(cycle)
-        for action in self.config.evaluate(cycle):
-            self._apply(action)
+        actions = self.config.evaluate(cycle)
+        if actions:
+            self.config.apply_guarded(cycle, actions, self._apply)
 
     def _handle_arrival(self, cycle: int) -> None:
         if self.in_link is None:
@@ -225,6 +227,14 @@ class NetworkInterface(Component):
         if channel is None:
             if phit.word is not None:
                 self.dropped_words += 1
+                if self.stats is not None:
+                    self.stats.record_fault(
+                        cycle,
+                        FAULT_DETECTED,
+                        "misroute_drop",
+                        self.name,
+                        f"slot {slot}: {phit.word!r}",
+                    )
                 if self.strict:
                     raise SimulationError(
                         f"{self.name}: word {phit.word!r} arrived in "
@@ -232,6 +242,22 @@ class NetworkInterface(Component):
                     )
             return
         dest = self.dest_channel(channel)
+        if phit.word is not None and not phit.word.parity_ok:
+            # The parity wire contradicts the payload: a transient or
+            # stuck-at fault corrupted the word in flight.  Drop it —
+            # the end-to-end sequence check will also flag the gap.
+            self.dropped_words += 1
+            if self.stats is not None:
+                self.stats.record_fault(
+                    cycle,
+                    FAULT_DETECTED,
+                    "parity_error",
+                    self.name,
+                    f"ch{channel}: {phit.word!r}",
+                )
+            if phit.credit_bits:
+                self._credit_paired_source(dest, phit.credit_bits)
+            return
         if phit.word is not None:
             dest.deliver(phit.word)
             if self.tracer.enabled:

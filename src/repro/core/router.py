@@ -27,6 +27,7 @@ from ..params import NetworkParameters
 from ..sim.flit import Phit
 from ..sim.kernel import Component, Register
 from ..sim.link import Link
+from ..sim.stats import FAULT_DETECTED, StatsCollector
 from ..sim.trace import NULL_TRACER, Tracer
 from ..topology import Element, ElementKind
 from .config_port import ConfigPort
@@ -77,6 +78,9 @@ class Router(Component):
         self.forwarded_words = 0
         #: Optional event tracer (set by the network builder).
         self.tracer: Tracer = NULL_TRACER
+        #: Optional stats collector (set by the network builder); drops
+        #: are recorded there as detected faults.
+        self.stats: Optional[StatsCollector] = None
 
     @property
     def ports(self) -> int:
@@ -141,14 +145,23 @@ class Router(Component):
                         "drop",
                         f"slot {slot}: in{input_port} {phit.word!r}",
                     )
+                if self.stats is not None:
+                    self.stats.record_fault(
+                        cycle,
+                        FAULT_DETECTED,
+                        "route_drop",
+                        self.name,
+                        f"slot {slot}: in{input_port} {phit.word!r}",
+                    )
                 if self.strict:
                     raise SimulationError(
                         f"{self.name}: word {phit.word!r} arrived on "
                         f"input {input_port} in slot {slot} but no "
                         f"output forwards it — schedule misconfigured"
                     )
-        for action in self.config.evaluate(cycle):
-            self._apply(action)
+        actions = self.config.evaluate(cycle)
+        if actions:
+            self.config.apply_guarded(cycle, actions, self._apply)
 
     def _apply(self, action: Action) -> None:
         if not isinstance(action, RouterPathAction):

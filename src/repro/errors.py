@@ -48,6 +48,17 @@ class ProtocolError(ConfigurationError):
     """A configuration packet is malformed or cannot be decoded."""
 
 
+class ConfigTimeoutError(ConfigurationError):
+    """A configuration request exhausted its bounded retries without
+    completing — the config tree (or the addressed element) is unable
+    to answer."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was misused (unknown target element,
+    out-of-range bit position, schedule in the past)."""
+
+
 class SimulationError(ReproError):
     """The cycle simulator detected an inconsistency (e.g. word collision)."""
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection, detection, and recovery support.
+
+See DESIGN.md §9 for the fault model.  The subsystem splits into a
+declarative layer (:mod:`~repro.faults.spec` — what goes wrong, where,
+when) and an operational layer (:mod:`~repro.faults.inject` — arming a
+plan against a live :class:`~repro.core.network.DaeliteNetwork`).
+Detection lives with the components (parity checks in the NIs, sequence
+checks in the stats collector and sinks, protocol monitors on the
+config ports); recovery lives in
+:class:`~repro.core.online.OnlineConnectionManager`.
+"""
+
+from .inject import FaultInjector, inject_and_run
+from .spec import (
+    ConfigWordCorrupt,
+    ConfigWordDrop,
+    FaultPlan,
+    FaultSpec,
+    LinkDownFault,
+    SlotTableUpset,
+    StuckAtFault,
+    TransientBitFlip,
+    plan_summary,
+    random_fault_plan,
+)
+
+__all__ = [
+    "ConfigWordCorrupt",
+    "ConfigWordDrop",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "LinkDownFault",
+    "SlotTableUpset",
+    "StuckAtFault",
+    "TransientBitFlip",
+    "inject_and_run",
+    "plan_summary",
+    "random_fault_plan",
+]

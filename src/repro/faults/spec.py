@@ -1,0 +1,327 @@
+"""Fault taxonomy and seeded, reproducible fault plans.
+
+A :class:`FaultPlan` is a *pure description*: an ordered tuple of fault
+specifications plus the seed that generated them.  Nothing here touches
+the simulator — :class:`~repro.faults.inject.FaultInjector` arms a plan
+against a live network.  Keeping the plan declarative is what makes
+fault campaigns reproducible: the same seed yields the same specs, and
+the same specs fire at the same cycles in both kernel modes.
+
+The taxonomy follows the paper's structure: data faults hit the
+word-wide data links (transient bit-flips, stuck-at wires, a link going
+dead), control faults hit the distributed TDM state (router slot-table
+upsets) and the 7-bit configuration tree (dropped or corrupted
+configuration words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import FaultInjectionError
+from ..traffic.generators import Lcg
+
+
+def _check_cycle(cycle: int, what: str) -> None:
+    if cycle < 0:
+        raise FaultInjectionError(f"{what} cycle {cycle} is negative")
+
+
+def _check_bit(bit: int, limit: int = 64) -> None:
+    if not 0 <= bit < limit:
+        raise FaultInjectionError(
+            f"bit position {bit} outside 0..{limit - 1}"
+        )
+
+
+@dataclass(frozen=True)
+class TransientBitFlip:
+    """Flip one payload bit of the word crossing ``edge`` at ``cycle``.
+
+    A no-op if the link carries no word that cycle (transients strike
+    wires, not words)."""
+
+    edge: Tuple[str, str]
+    cycle: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle, "bit-flip")
+        _check_bit(self.bit)
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """Wire ``bit`` of ``edge`` reads ``value`` while the fault is live.
+
+    ``until_cycle`` is exclusive; ``None`` means permanent."""
+
+    edge: Tuple[str, str]
+    bit: int
+    value: int
+    from_cycle: int
+    until_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.from_cycle, "stuck-at start")
+        _check_bit(self.bit)
+        if self.value not in (0, 1):
+            raise FaultInjectionError(
+                f"stuck-at value must be 0 or 1, got {self.value}"
+            )
+        if (
+            self.until_cycle is not None
+            and self.until_cycle <= self.from_cycle
+        ):
+            raise FaultInjectionError(
+                "stuck-at window must end after it starts"
+            )
+
+
+@dataclass(frozen=True)
+class LinkDownFault:
+    """The data link ``edge`` carries nothing while the fault is live.
+
+    ``until_cycle`` is exclusive; ``None`` models a hard failure that
+    only :meth:`~repro.core.online.OnlineConnectionManager.
+    handle_link_failure` can route around."""
+
+    edge: Tuple[str, str]
+    from_cycle: int
+    until_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.from_cycle, "link-down start")
+        if (
+            self.until_cycle is not None
+            and self.until_cycle <= self.from_cycle
+        ):
+            raise FaultInjectionError(
+                "link-down window must end after it starts"
+            )
+
+
+@dataclass(frozen=True)
+class SlotTableUpset:
+    """Clear one router slot-table entry at ``cycle`` (an SEU).
+
+    Modelled as a clear rather than a random write: a spurious *set*
+    would immediately violate the contention-free invariant the rest of
+    the schedule still holds, while a clear silently drops the words of
+    one connection — the harder fault to catch, detectable only through
+    the end-to-end sequence check and repairable with an idempotent
+    set-up replay."""
+
+    router: str
+    output: int
+    slot: int
+    cycle: int
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle, "slot-upset")
+        if self.output < 0:
+            raise FaultInjectionError("output port must be >= 0")
+        if self.slot < 0:
+            raise FaultInjectionError("slot must be >= 0")
+
+
+@dataclass(frozen=True)
+class ConfigWordDrop:
+    """Swallow the configuration word on narrow link ``link`` at
+    ``cycle`` (a no-op if the link is idle that cycle)."""
+
+    link: str
+    cycle: int
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle, "config-drop")
+
+
+@dataclass(frozen=True)
+class ConfigWordCorrupt:
+    """Flip bit ``bit`` of the configuration word on ``link`` at
+    ``cycle`` (a no-op if the link is idle that cycle)."""
+
+    link: str
+    cycle: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle, "config-corrupt")
+        _check_bit(self.bit, limit=7)
+
+
+FaultSpec = Union[
+    TransientBitFlip,
+    StuckAtFault,
+    LinkDownFault,
+    SlotTableUpset,
+    ConfigWordDrop,
+    ConfigWordCorrupt,
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible fault schedule.
+
+    Attributes:
+        seed: Seed that generated the plan (0 for hand-written plans).
+        specs: The fault specifications, in a deterministic order.
+    """
+
+    seed: int
+    specs: Tuple[FaultSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def describe(self) -> str:
+        """One stable line per spec, for logs and golden comparisons."""
+        return "\n".join(repr(spec) for spec in self.specs)
+
+    def data_specs(self) -> List[FaultSpec]:
+        return [
+            spec
+            for spec in self.specs
+            if isinstance(
+                spec, (TransientBitFlip, StuckAtFault, LinkDownFault)
+            )
+        ]
+
+    def config_specs(self) -> List[FaultSpec]:
+        return [
+            spec
+            for spec in self.specs
+            if isinstance(spec, (ConfigWordDrop, ConfigWordCorrupt))
+        ]
+
+    def table_specs(self) -> List[SlotTableUpset]:
+        return [
+            spec
+            for spec in self.specs
+            if isinstance(spec, SlotTableUpset)
+        ]
+
+
+def random_fault_plan(
+    seed: int,
+    network: "DaeliteNetwork",  # noqa: F821 - forward ref, avoids cycle
+    horizon: int,
+    start_cycle: int = 0,
+    bit_flips: int = 0,
+    stuck_ats: int = 0,
+    link_downs: int = 0,
+    table_upsets: int = 0,
+    config_drops: int = 0,
+    config_corrupts: int = 0,
+    word_bits: int = 32,
+) -> FaultPlan:
+    """Generate a seeded random plan against a live network's targets.
+
+    Target enumeration is sorted by name, and all randomness comes from
+    one :class:`~repro.traffic.generators.Lcg` stream consumed in a
+    fixed order, so a (seed, network shape) pair always yields the
+    identical plan — the reproducibility contract of the chaos suite.
+
+    Fault cycles fall in ``[start_cycle, start_cycle + horizon)``;
+    windowed faults (stuck-at, link-down) end within the horizon so a
+    recovery phase after it observes a stable network.
+
+    Raises:
+        FaultInjectionError: if the horizon is not positive or a count
+            is negative.
+    """
+    if horizon <= 0:
+        raise FaultInjectionError("horizon must be positive")
+    counts = {
+        "bit_flips": bit_flips,
+        "stuck_ats": stuck_ats,
+        "link_downs": link_downs,
+        "table_upsets": table_upsets,
+        "config_drops": config_drops,
+        "config_corrupts": config_corrupts,
+    }
+    for name, count in counts.items():
+        if count < 0:
+            raise FaultInjectionError(f"{name} must be >= 0")
+    rng = Lcg(seed)
+    data_edges = sorted(network.links)
+    routers = sorted(network.routers)
+    cfg_links = sorted(
+        name
+        for name in network.config_links
+        if name.startswith("cfg.")
+    )
+    specs: List[FaultSpec] = []
+
+    def pick_cycle() -> int:
+        return start_cycle + rng.next_below(horizon)
+
+    def pick_window() -> Tuple[int, int]:
+        first = start_cycle + rng.next_below(max(1, horizon - 1))
+        length = 1 + rng.next_below(horizon - (first - start_cycle))
+        return first, first + length
+
+    for _ in range(bit_flips):
+        edge = data_edges[rng.next_below(len(data_edges))]
+        specs.append(
+            TransientBitFlip(
+                edge=edge,
+                cycle=pick_cycle(),
+                bit=rng.next_below(word_bits),
+            )
+        )
+    for _ in range(stuck_ats):
+        edge = data_edges[rng.next_below(len(data_edges))]
+        first, last = pick_window()
+        specs.append(
+            StuckAtFault(
+                edge=edge,
+                bit=rng.next_below(word_bits),
+                value=rng.next_below(2),
+                from_cycle=first,
+                until_cycle=last,
+            )
+        )
+    for _ in range(link_downs):
+        edge = data_edges[rng.next_below(len(data_edges))]
+        first, last = pick_window()
+        specs.append(
+            LinkDownFault(edge=edge, from_cycle=first, until_cycle=last)
+        )
+    slot_count = network.params.slot_table_size
+    for _ in range(table_upsets):
+        router_name = routers[rng.next_below(len(routers))]
+        router = network.routers[router_name]
+        specs.append(
+            SlotTableUpset(
+                router=router_name,
+                output=rng.next_below(router.ports),
+                slot=rng.next_below(slot_count),
+                cycle=pick_cycle(),
+            )
+        )
+    for _ in range(config_drops):
+        link = cfg_links[rng.next_below(len(cfg_links))]
+        specs.append(ConfigWordDrop(link=link, cycle=pick_cycle()))
+    for _ in range(config_corrupts):
+        link = cfg_links[rng.next_below(len(cfg_links))]
+        specs.append(
+            ConfigWordCorrupt(
+                link=link,
+                cycle=pick_cycle(),
+                bit=rng.next_below(7),
+            )
+        )
+    return FaultPlan(seed=seed, specs=tuple(specs))
+
+
+def plan_summary(plan: FaultPlan) -> Dict[str, int]:
+    """Spec counts per fault class — the campaign's shape at a glance."""
+    summary: Dict[str, int] = {}
+    for spec in plan.specs:
+        name = type(spec).__name__
+        summary[name] = summary.get(name, 0) + 1
+    return summary

@@ -29,12 +29,35 @@ class Word:
         sequence: Per-connection sequence number (bookkeeping only).
         injected_at: Cycle at which the source NI drove the word onto its
             link (bookkeeping only).
+        parity: Even parity over the payload bits, stamped by the source
+            NI; ``None`` when the source does not protect the word.
+            Models a parity wire riding alongside the data wires — a
+            corrupted payload no longer matches and the destination NI
+            can detect (and drop) the word.
     """
 
     payload: int
     connection: str = ""
     sequence: int = -1
     injected_at: int = -1
+    parity: Optional[int] = None
+
+    def with_parity(self) -> "Word":
+        """A copy of this word with the parity wire driven."""
+        return Word(
+            payload=self.payload,
+            connection=self.connection,
+            sequence=self.sequence,
+            injected_at=self.injected_at,
+            parity=bin(self.payload).count("1") & 1,
+        )
+
+    @property
+    def parity_ok(self) -> bool:
+        """True unless the parity wire contradicts the payload."""
+        if self.parity is None:
+            return True
+        return (bin(self.payload).count("1") & 1) == self.parity
 
     def __repr__(self) -> str:  # compact traces
         return (

@@ -12,11 +12,19 @@ it transports small integers (configuration words) plus a valid flag.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import SimulationError
 from .flit import IDLE_PHIT, Phit, Word
 from .kernel import Register
+
+#: A data-link fault hook: called with (link, phit) at send time; returns
+#: the (possibly corrupted) phit, or ``None`` to drop it entirely.
+FaultHook = Callable[["Link", Phit], Optional[Phit]]
+
+#: A config-link fault hook: called with (link, word); returns the
+#: (possibly corrupted) word, or ``None`` to drop it.
+NarrowFaultHook = Callable[["NarrowLink", int], Optional[int]]
 
 
 class Link:
@@ -26,6 +34,13 @@ class Link:
         name: Diagnostic name, usually ``"<src>-><dst>"``.
         register: The pipeline register; owned by the link, latched by the
             kernel via :meth:`registers`.
+        fault_hook: Optional fault-injection point (see
+            :mod:`repro.faults`), consulted before the phit is driven.
+            The hook may pass the phit through, substitute a corrupted
+            one, or return ``None`` to model the wires going dead.  The
+            utilisation counters see the *post-fault* traffic — what the
+            wires actually carried.  ``None`` (the default) keeps the
+            hot path to a single attribute check.
     """
 
     def __init__(self, name: str) -> None:
@@ -35,9 +50,15 @@ class Link:
         self.phits_carried = 0
         #: Cumulative count of data words, for bandwidth statistics.
         self.words_carried = 0
+        self.fault_hook: Optional[FaultHook] = None
 
     def send(self, phit: Phit) -> None:
         """Drive a phit onto the link for this cycle."""
+        if self.fault_hook is not None:
+            faulted = self.fault_hook(self, phit)
+            if faulted is None:
+                return
+            phit = faulted
         if not phit.is_idle:
             self.phits_carried += 1
             if phit.word is not None:
@@ -77,6 +98,10 @@ class NarrowLink:
         self.width_bits = width_bits
         self.register = Register(f"cfglink.{name}", idle=None)
         self.words_carried = 0
+        #: Optional fault-injection point, as on :class:`Link`.  A
+        #: substituted word is masked to the link width by the injector;
+        #: ``None`` from the hook models the valid line staying low.
+        self.fault_hook: Optional[NarrowFaultHook] = None
 
     def send(self, word: int) -> None:
         """Drive one configuration word for this cycle.
@@ -89,6 +114,11 @@ class NarrowLink:
                 f"config word {word:#x} exceeds {self.width_bits}-bit link "
                 f"{self.name!r}"
             )
+        if self.fault_hook is not None:
+            faulted = self.fault_hook(self, word)
+            if faulted is None:
+                return
+            word = faulted
         self.words_carried += 1
         self.register.drive(word)
 

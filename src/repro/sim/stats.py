@@ -17,6 +17,48 @@ from ..errors import SimulationError, StatsIntegrityError
 from .flit import Word
 
 
+#: FaultEvent.category for a fault being *applied* by an injector.
+FAULT_INJECTED = "inject"
+#: FaultEvent.category for a fault being *observed* by a detector.
+FAULT_DETECTED = "detect"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected or detected fault, as recorded by the collector.
+
+    Events are totally ordered by recording order, which is
+    deterministic for a fixed seed and fault plan regardless of the
+    kernel mode (see DESIGN.md §9); :meth:`format` renders a stable
+    one-line representation so whole logs can be compared bytewise.
+
+    Attributes:
+        cycle: Simulation cycle at which the fault fired / was seen.
+        category: ``"inject"`` or ``"detect"``.
+        kind: Fault kind tag (``"bitflip"``, ``"link_down"``,
+            ``"stuck_at"``, ``"table_upset"``, ``"cfg_word_drop"``,
+            ``"cfg_word_corrupt"``, ``"parity_error"``,
+            ``"sequence_gap"``, ``"protocol_error"``,
+            ``"config_timeout"``, ``"config_retry"``,
+            ``"config_failed"``, ``"readback_mismatch"``, ...).
+        site: Element or link name where it happened.
+        detail: Free-form (but deterministic) description.
+    """
+
+    cycle: int
+    category: str
+    kind: str
+    site: str
+    detail: str = ""
+
+    def format(self) -> str:
+        """Stable single-line rendering for bytewise log comparison."""
+        return (
+            f"[{self.cycle:>8}] {self.category:<6} {self.kind:<16} "
+            f"{self.site:<24} {self.detail}"
+        ).rstrip()
+
+
 @dataclass
 class WordRecord:
     """Lifecycle of a single word, keyed by (connection, sequence)."""
@@ -76,6 +118,40 @@ class StatsCollector:
         self.connections: Dict[str, ConnectionStats] = {}
         self._records: Dict[tuple, WordRecord] = {}
         self._last_ejected: Dict[tuple, int] = {}
+        #: Injected and detected faults, in recording order.
+        self.faults: List[FaultEvent] = []
+
+    # -- fault events ---------------------------------------------------------
+
+    def record_fault(
+        self,
+        cycle: int,
+        category: str,
+        kind: str,
+        site: str,
+        detail: str = "",
+    ) -> FaultEvent:
+        """Append one :class:`FaultEvent` and return it."""
+        event = FaultEvent(
+            cycle=cycle,
+            category=category,
+            kind=kind,
+            site=site,
+            detail=detail,
+        )
+        self.faults.append(event)
+        return event
+
+    def fault_log(self) -> str:
+        """All fault events, one stable line each (bytewise comparable)."""
+        return "\n".join(event.format() for event in self.faults)
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Events per kind — the quick chaos-run scoreboard."""
+        counts: Dict[str, int] = {}
+        for event in self.faults:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
 
     def _stats_for(self, connection: str) -> ConnectionStats:
         if connection not in self.connections:
@@ -124,6 +200,19 @@ class StatsCollector:
             raise StatsIntegrityError(
                 f"out-of-order delivery on {flow}: sequence {word.sequence} "
                 f"after {last}"
+            )
+        # A *gap* (unlike a duplicate or reorder) is how a dropped word
+        # manifests at the destination: record it as a detected fault
+        # rather than raising, so lossy fault campaigns keep running.
+        expected = 0 if last is None else last + 1
+        if word.sequence > expected:
+            self.record_fault(
+                cycle,
+                FAULT_DETECTED,
+                "sequence_gap",
+                destination or word.connection,
+                f"{word.connection}: expected seq {expected}, "
+                f"got {word.sequence}",
             )
         self._last_ejected[flow] = word.sequence
         if record.ejected_at is None:

@@ -78,6 +78,12 @@ class Topology:
         #: Derived caches (e.g. the allocator's route memo) key on it so
         #: they never serve paths from a stale structure.
         self.version = 0
+        #: Links currently masked out by :meth:`fail_link`, as
+        #: canonically ordered (min, max) name pairs.  Port numbering is
+        #: untouched by a failure — the hardware is still wired, the
+        #: link is just unusable — so element ``neighbors`` keep their
+        #: entries and only the routable graph loses the edge.
+        self.failed_links: set = set()
 
     # -- construction ---------------------------------------------------------
 
@@ -124,6 +130,48 @@ class Topology:
         self.elements[b].neighbors.append(a)
         self.graph.add_edge(a, b)
         self.version += 1
+
+    # -- link failure ---------------------------------------------------------
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Mask the bidirectional link pair ``a <-> b`` as failed.
+
+        The edge leaves the routable graph (so every path finder and
+        the allocator's route cache — keyed on :attr:`version` — avoid
+        it from now on) but the elements keep their ports: a failed
+        link is broken, not unwired.
+
+        Raises:
+            TopologyError: on unknown elements, a non-existent link, or
+                a link that is already failed.
+        """
+        self.element(a)
+        self.element(b)
+        key = (min(a, b), max(a, b))
+        if key in self.failed_links:
+            raise TopologyError(f"link {a!r}<->{b!r} already failed")
+        if not self.graph.has_edge(a, b):
+            raise TopologyError(f"no link {a!r}<->{b!r}")
+        self.graph.remove_edge(a, b)
+        self.failed_links.add(key)
+        self.version += 1
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Return a previously failed link pair to service.
+
+        Raises:
+            TopologyError: if the link is not currently failed.
+        """
+        key = (min(a, b), max(a, b))
+        if key not in self.failed_links:
+            raise TopologyError(f"link {a!r}<->{b!r} is not failed")
+        self.failed_links.discard(key)
+        self.graph.add_edge(a, b)
+        self.version += 1
+
+    def link_is_failed(self, a: str, b: str) -> bool:
+        """True if the ``a <-> b`` pair is currently masked as failed."""
+        return (min(a, b), max(a, b)) in self.failed_links
 
     # -- queries --------------------------------------------------------------
 

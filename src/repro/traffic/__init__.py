@@ -7,7 +7,7 @@ from .generators import (
     RandomGenerator,
     TraceGenerator,
 )
-from .sinks import DrainSink, ThrottledSink
+from .sinks import CheckingSink, DrainSink, ThrottledSink
 from .workloads import (
     CacheMissTraffic,
     SyncBroadcast,
@@ -21,6 +21,7 @@ __all__ = [
     "Lcg",
     "RandomGenerator",
     "TraceGenerator",
+    "CheckingSink",
     "DrainSink",
     "ThrottledSink",
     "CacheMissTraffic",

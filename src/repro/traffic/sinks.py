@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple
 from ..errors import TrafficError
 from ..sim.flit import Word
 from ..sim.kernel import Component
+from ..sim.stats import FAULT_DETECTED, StatsCollector
 
 ReceiveWords = Callable[[int], List[Word]]
 
@@ -77,3 +78,84 @@ class ThrottledSink(DrainSink):
     def evaluate(self, cycle: int) -> None:
         if cycle % self.period == 0:
             super().evaluate(cycle)
+
+
+class CheckingSink(DrainSink):
+    """A sink that verifies every word end to end as it consumes it.
+
+    Two checks, mirroring the fault model (DESIGN.md §9):
+
+    * **parity** — the parity wire stamped by the source NI must still
+      match the payload.  The destination NI already drops mismatching
+      words on arrival, so a sink-level parity failure means corruption
+      *inside* the NI queue path — it should never fire, and the chaos
+      suite asserts it does not.
+    * **sequence** — per connection, sequence numbers must be exactly
+      consecutive.  A gap is the end-to-end signature of a dropped word
+      (link down, slot-table upset, parity drop); a decrease is
+      misdelivery.
+
+    Findings are appended to :attr:`findings` and, when a collector is
+    given, recorded as ``detect`` fault events at the sink's site —
+    faults are *observations* here, never exceptions, because a lossy
+    network is exactly what this sink exists to survive.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        receive: ReceiveWords,
+        words_per_cycle: int = 1,
+        start_cycle: int = 0,
+        stats: Optional[StatsCollector] = None,
+    ) -> None:
+        super().__init__(
+            name,
+            receive,
+            words_per_cycle=words_per_cycle,
+            start_cycle=start_cycle,
+        )
+        self.stats = stats
+        #: Human-readable check failures, in detection order.
+        self.findings: List[str] = []
+        self._last_seq: dict = {}
+
+    @property
+    def clean(self) -> bool:
+        """True while every received word has checked out."""
+        return not self.findings
+
+    def _record(self, cycle: int, kind: str, detail: str) -> None:
+        self.findings.append(f"[{cycle}] {kind}: {detail}")
+        if self.stats is not None:
+            self.stats.record_fault(
+                cycle, FAULT_DETECTED, kind, self.name, detail
+            )
+
+    def evaluate(self, cycle: int) -> None:
+        if cycle < self.start_cycle:
+            return
+        for word in self.receive(self.words_per_cycle):
+            self.received.append((cycle, word.payload))
+            if not word.parity_ok:
+                self._record(
+                    cycle, "sink_parity_error", f"{word!r}"
+                )
+            if word.sequence >= 0 and word.connection:
+                last = self._last_seq.get(word.connection)
+                expected = 0 if last is None else last + 1
+                if word.sequence > expected:
+                    self._record(
+                        cycle,
+                        "e2e_gap",
+                        f"{word.connection}: expected seq "
+                        f"{expected}, got {word.sequence}",
+                    )
+                elif word.sequence < expected:
+                    self._record(
+                        cycle,
+                        "e2e_out_of_order",
+                        f"{word.connection}: expected seq "
+                        f"{expected}, got {word.sequence}",
+                    )
+                self._last_seq[word.connection] = word.sequence

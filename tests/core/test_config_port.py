@@ -11,7 +11,12 @@ from repro.topology import ElementKind
 
 
 class Carrier(Component):
-    """Minimal owner component that just pumps its config port."""
+    """Minimal owner component that just pumps its config port.
+
+    Several tests feed lone header words as probes; since the decoder
+    now rejects truncated packets, a recording fault monitor keeps
+    those probes survivable while still exposing what was flagged.
+    """
 
     def __init__(self, name, element_id, kind=ElementKind.ROUTER):
         super().__init__(name)
@@ -22,6 +27,10 @@ class Carrier(Component):
             slot_table_size=8,
         )
         self.actions = []
+        self.errors = []
+        self.port.fault_monitor = (
+            lambda cycle, error: self.errors.append((cycle, error))
+        )
 
     def evaluate(self, cycle):
         self.actions.extend(self.port.evaluate(cycle))

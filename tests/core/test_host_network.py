@@ -112,6 +112,80 @@ class TestConnectionLifecycle:
         )
 
 
+class TestTeardownIdempotence:
+    """Tear-down must be exactly-once: a double tear-down would free
+    channel indices twice and clear slots another connection may since
+    have claimed."""
+
+    def test_double_teardown_rejected(self, mesh22, params8):
+        net, conn, handle = make_connected_network(mesh22, params8)
+        net.teardown(handle, conn)
+        with pytest.raises(ConfigurationError, match="already torn down"):
+            net.host.teardown_connection(handle, conn)
+
+    def test_teardown_of_inflight_setup_rejected(self, mesh22, params8):
+        allocator = SlotAllocator(topology=mesh22, params=params8)
+        conn = allocator.allocate_connection(
+            ConnectionRequest("conn", "NI00", "NI11", forward_slots=2)
+        )
+        net = DaeliteNetwork(mesh22, params8)
+        handle = net.host.setup_connection(conn)
+        assert not handle.done  # packets still in the config network
+        with pytest.raises(ConfigurationError, match="still in flight"):
+            net.host.teardown_connection(handle, conn)
+        # Once the set-up lands, the same call succeeds.
+        net.run_until_configured(handle)
+        net.teardown(handle, conn)
+
+    def test_teardown_of_unconfigured_handle_rejected(
+        self, mesh22, params8
+    ):
+        from repro.core.host import ConnectionHandle
+
+        allocator = SlotAllocator(topology=mesh22, params=params8)
+        conn = allocator.allocate_connection(
+            ConnectionRequest("conn", "NI00", "NI11", forward_slots=2)
+        )
+        net = DaeliteNetwork(mesh22, params8)
+        ghost = ConnectionHandle(label="ghost")
+        with pytest.raises(ConfigurationError, match="never fully set up"):
+            net.host.teardown_connection(ghost, conn)
+
+    def test_replay_of_torn_down_handle_rejected(self, mesh22, params8):
+        net, conn, handle = make_connected_network(mesh22, params8)
+        net.teardown(handle, conn)
+        with pytest.raises(ConfigurationError, match="already torn down"):
+            net.host.replay_connection(handle, conn)
+
+    def test_double_multicast_teardown_rejected(self, params8):
+        from repro.alloc import MulticastRequest
+
+        mesh = build_mesh(3, 3)
+        allocator = SlotAllocator(topology=mesh, params=params8)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("mc", "NI00", ("NI20", "NI02"), slots=1)
+        )
+        net = DaeliteNetwork(mesh, params8)
+        handle = net.configure_multicast(tree)
+        teardown = net.host.teardown_multicast(handle)
+        net.run_until_configured(teardown)
+        with pytest.raises(ConfigurationError, match="already torn down"):
+            net.host.teardown_multicast(handle)
+
+    def test_multicast_teardown_of_inflight_setup_rejected(self, params8):
+        from repro.alloc import MulticastRequest
+
+        mesh = build_mesh(3, 3)
+        allocator = SlotAllocator(topology=mesh, params=params8)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("mc", "NI00", ("NI20", "NI02"), slots=1)
+        )
+        net = DaeliteNetwork(mesh, params8)
+        handle = net.host.setup_multicast(tree)
+        with pytest.raises(ConfigurationError, match="still in flight"):
+            net.host.teardown_multicast(handle)
+
+
 class TestHostBookkeeping:
     def test_channel_indices_unique_per_ni(self, mesh22, params8):
         net = DaeliteNetwork(mesh22, params8, host_ni="NI00")

@@ -1,0 +1,348 @@
+"""Injection mechanics: hooks, scheduled upsets, monitors, retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.host import ChannelField, Direction
+from repro.errors import ConfigTimeoutError, FaultInjectionError
+from repro.faults import (
+    ConfigWordCorrupt,
+    ConfigWordDrop,
+    FaultInjector,
+    FaultPlan,
+    LinkDownFault,
+    SlotTableUpset,
+    StuckAtFault,
+    TransientBitFlip,
+)
+from repro.traffic import CheckingSink
+
+from .conftest import forward_edge
+
+
+def submit_stream(network, record, payloads, label):
+    network.ni(record.request.src_ni).submit_words(
+        record.handle.forward.src_channel, payloads, label
+    )
+
+
+def attach_sink(network, record, name="sink"):
+    sink = CheckingSink(
+        name,
+        lambda n: network.ni(record.request.dst_ni).receive(
+            record.handle.forward.dst_channel, n
+        ),
+        stats=network.stats,
+    )
+    network.kernel.add(sink)
+    return sink
+
+
+class TestArming:
+    def test_unknown_targets_rejected(self, managed_mesh):
+        network, _, _ = managed_mesh
+        with pytest.raises(FaultInjectionError, match="unknown data"):
+            FaultInjector(
+                network,
+                FaultPlan(
+                    seed=0,
+                    specs=(
+                        TransientBitFlip(
+                            edge=("NOPE", "R00"), cycle=1, bit=0
+                        ),
+                    ),
+                ),
+            )
+        with pytest.raises(FaultInjectionError, match="unknown config"):
+            FaultInjector(
+                network,
+                FaultPlan(
+                    seed=0,
+                    specs=(ConfigWordDrop(link="cfg.bogus", cycle=1),),
+                ),
+            )
+        with pytest.raises(FaultInjectionError, match="unknown router"):
+            FaultInjector(
+                network,
+                FaultPlan(
+                    seed=0,
+                    specs=(
+                        SlotTableUpset(
+                            router="R99", output=0, slot=0, cycle=1
+                        ),
+                    ),
+                ),
+            )
+
+    def test_out_of_range_table_target_rejected(self, managed_mesh):
+        network, _, _ = managed_mesh
+        with pytest.raises(FaultInjectionError, match="no output"):
+            FaultInjector(
+                network,
+                FaultPlan(
+                    seed=0,
+                    specs=(
+                        SlotTableUpset(
+                            router="R00", output=9, slot=0, cycle=1
+                        ),
+                    ),
+                ),
+            )
+
+    def test_plan_in_the_past_rejected(self, managed_mesh):
+        network, _, record = managed_mesh
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                TransientBitFlip(
+                    edge=forward_edge(record), cycle=1, bit=0
+                ),
+            ),
+        )
+        injector = FaultInjector(network, plan)
+        with pytest.raises(FaultInjectionError, match="already at"):
+            injector.arm()
+
+    def test_double_arm_rejected_and_disarm_restores(self, managed_mesh):
+        network, _, record = managed_mesh
+        edge = forward_edge(record)
+        plan = FaultPlan(
+            seed=0,
+            specs=(
+                TransientBitFlip(
+                    edge=edge, cycle=network.kernel.cycle + 5, bit=0
+                ),
+            ),
+        )
+        injector = FaultInjector(network, plan)
+        injector.arm()
+        assert network.links[edge].fault_hook is not None
+        with pytest.raises(FaultInjectionError, match="already armed"):
+            injector.arm()
+        injector.disarm()
+        assert network.links[edge].fault_hook is None
+        assert network.routers["R00"].config.fault_monitor is None
+
+
+class TestDataFaults:
+    def test_stuck_at_corrupts_and_parity_detects(self, managed_mesh):
+        network, _, record = managed_mesh
+        now = network.kernel.cycle
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=(
+                    StuckAtFault(
+                        edge=forward_edge(record),
+                        bit=0,
+                        value=1,
+                        from_cycle=now + 10,
+                        until_cycle=now + 22,
+                    ),
+                ),
+            ),
+        )
+        injector.arm()
+        # Even payloads, so forcing bit 0 high corrupts every word in
+        # the window.
+        submit_stream(
+            network, record, [2 * i for i in range(40)], "s.epoch1"
+        )
+        sink = attach_sink(network, record)
+        network.run(1200)
+        injector.disarm()
+        counts = network.stats.fault_counts()
+        assert counts["stuck_at"] > 0
+        # Every injected corruption was caught by the parity wire at
+        # the destination NI...
+        assert counts["parity_error"] == counts["stuck_at"]
+        # ...and surfaced end to end as a sequence gap at the sink.
+        assert counts["e2e_gap"] >= 1
+        assert not sink.clean
+        assert sink.words_received == 40 - counts["parity_error"]
+
+    def test_link_down_window_drops_phits(self, managed_mesh):
+        network, _, record = managed_mesh
+        now = network.kernel.cycle
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=(
+                    LinkDownFault(
+                        edge=forward_edge(record),
+                        from_cycle=now + 10,
+                        until_cycle=now + 22,
+                    ),
+                ),
+            ),
+        )
+        injector.arm()
+        submit_stream(network, record, list(range(40)), "s.epoch1")
+        sink = attach_sink(network, record)
+        network.run(1200)
+        injector.disarm()
+        counts = network.stats.fault_counts()
+        assert counts["link_down"] == 1
+        assert counts["phit_lost"] > 0
+        assert sink.words_received < 40
+
+    def test_vacuous_transient_records_nothing(self, managed_mesh):
+        network, _, record = managed_mesh
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=(
+                    TransientBitFlip(
+                        edge=forward_edge(record),
+                        cycle=network.kernel.cycle + 3,
+                        bit=0,
+                    ),
+                ),
+            ),
+        )
+        injector.arm()
+        network.run(50)  # no traffic: the link is idle at the cycle
+        injector.disarm()
+        assert network.stats.fault_counts() == {}
+
+
+class TestTableUpsets:
+    def test_upset_clears_entry_and_replay_restores(self, managed_mesh):
+        network, manager, record = managed_mesh
+        path = record.allocation.forward.path
+        router = network.routers[path[1]]
+        out = network.topology.element(path[1]).port_to(path[2])
+        # The table index used along the path is lagged per hop; just
+        # find a programmed slot on that output directly.
+        programmed = [
+            slot
+            for slot in range(network.params.slot_table_size)
+            if router.slot_table.entry(out, slot) is not None
+        ]
+        target = programmed[0]
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=(
+                    SlotTableUpset(
+                        router=path[1],
+                        output=out,
+                        slot=target,
+                        cycle=network.kernel.cycle + 5,
+                    ),
+                ),
+            ),
+        )
+        injector.arm()
+        network.run(10)
+        injector.disarm()
+        assert router.slot_table.entry(out, target) is None
+        assert network.stats.fault_counts()["table_upset"] == 1
+        # Idempotent set-up replay re-programs the cleared entry.
+        manager.repair_connection("stream")
+        assert router.slot_table.entry(out, target) is not None
+        assert manager.verify_connection("stream")
+
+
+class TestConfigFaults:
+    def test_word_drop_triggers_retry_then_success(self, managed_mesh):
+        network, _, record = managed_mesh
+        root_cfg = f"cfg.module->{network.config_tree.root}"
+        now = network.kernel.cycle
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=tuple(
+                    ConfigWordDrop(link=root_cfg, cycle=now + c)
+                    for c in range(1, 4)
+                ),
+            ),
+        )
+        injector.arm()
+        request = network.host.read_channel_register(
+            record.request.src_ni,
+            Direction.INJECT,
+            record.handle.forward.src_channel,
+            ChannelField.FLAGS,
+            timeout_cycles=300,
+            max_retries=2,
+        )
+        network.kernel.run_until(lambda: request.done, max_cycles=5000)
+        injector.disarm()
+        assert not request.failed
+        assert request.attempts == 2
+        assert request.responses  # the retried read got its answer
+        counts = network.stats.fault_counts()
+        assert counts["config_drop"] >= 1
+        assert counts["config_timeout"] == 1
+        assert counts["config_retry"] == 1
+        request.raise_if_failed()  # no-op on success
+
+    def test_exhausted_retries_fail_cleanly(self, managed_mesh):
+        network, _, record = managed_mesh
+        root_cfg = f"cfg.module->{network.config_tree.root}"
+        now = network.kernel.cycle
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=tuple(
+                    ConfigWordDrop(link=root_cfg, cycle=now + c)
+                    for c in range(1, 900)
+                ),
+            ),
+        )
+        injector.arm()
+        request = network.host.read_channel_register(
+            record.request.src_ni,
+            Direction.INJECT,
+            record.handle.forward.src_channel,
+            ChannelField.FLAGS,
+            timeout_cycles=100,
+            max_retries=1,
+        )
+        network.kernel.run_until(lambda: request.done, max_cycles=5000)
+        injector.disarm()
+        assert request.failed
+        assert request.attempts == 2
+        assert network.stats.fault_counts()["config_failed"] == 1
+        with pytest.raises(ConfigTimeoutError, match="abandoned"):
+            request.raise_if_failed()
+
+    def test_corrupt_word_is_survivable_with_monitor(self, managed_mesh):
+        network, _, record = managed_mesh
+        root_cfg = f"cfg.module->{network.config_tree.root}"
+        now = network.kernel.cycle
+        injector = FaultInjector(
+            network,
+            FaultPlan(
+                seed=0,
+                specs=tuple(
+                    ConfigWordCorrupt(
+                        link=root_cfg, cycle=now + c, bit=c % 7
+                    )
+                    for c in range(1, 40)
+                ),
+            ),
+        )
+        injector.arm()
+        request = network.host.read_channel_register(
+            record.request.src_ni,
+            Direction.INJECT,
+            record.handle.forward.src_channel,
+            ChannelField.FLAGS,
+            timeout_cycles=200,
+            max_retries=3,
+        )
+        # Must terminate without crashing, whatever the corruption did;
+        # the injector's monitors swallow decoder errors.
+        network.kernel.run_until(lambda: request.done, max_cycles=8000)
+        injector.disarm()
+        counts = network.stats.fault_counts()
+        assert counts["config_corrupt"] >= 1

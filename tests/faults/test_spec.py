@@ -1,0 +1,164 @@
+"""Unit tests for fault specs and seeded plan generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DaeliteNetwork
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    ConfigWordCorrupt,
+    ConfigWordDrop,
+    FaultPlan,
+    LinkDownFault,
+    SlotTableUpset,
+    StuckAtFault,
+    TransientBitFlip,
+    plan_summary,
+    random_fault_plan,
+)
+from repro.params import daelite_parameters
+from repro.topology import build_mesh
+
+
+class TestSpecValidation:
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(FaultInjectionError, match="negative"):
+            TransientBitFlip(edge=("a", "b"), cycle=-1, bit=0)
+
+    def test_bit_out_of_range_rejected(self):
+        with pytest.raises(FaultInjectionError, match="bit position"):
+            TransientBitFlip(edge=("a", "b"), cycle=0, bit=64)
+
+    def test_stuck_value_must_be_binary(self):
+        with pytest.raises(FaultInjectionError, match="0 or 1"):
+            StuckAtFault(
+                edge=("a", "b"), bit=0, value=2, from_cycle=0
+            )
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(FaultInjectionError, match="end after"):
+            StuckAtFault(
+                edge=("a", "b"),
+                bit=0,
+                value=1,
+                from_cycle=10,
+                until_cycle=10,
+            )
+        with pytest.raises(FaultInjectionError, match="end after"):
+            LinkDownFault(edge=("a", "b"), from_cycle=5, until_cycle=4)
+
+    def test_permanent_windows_allowed(self):
+        StuckAtFault(edge=("a", "b"), bit=3, value=0, from_cycle=0)
+        LinkDownFault(edge=("a", "b"), from_cycle=7)
+
+    def test_config_corrupt_bit_bounded_by_word_width(self):
+        ConfigWordCorrupt(link="cfg.x->y", cycle=0, bit=6)
+        with pytest.raises(FaultInjectionError):
+            ConfigWordCorrupt(link="cfg.x->y", cycle=0, bit=7)
+
+    def test_table_upset_rejects_negative_ports(self):
+        with pytest.raises(FaultInjectionError):
+            SlotTableUpset(router="R00", output=-1, slot=0, cycle=0)
+        with pytest.raises(FaultInjectionError):
+            SlotTableUpset(router="R00", output=0, slot=-1, cycle=0)
+
+
+class TestPlan:
+    def test_plan_partitions_by_layer(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=(
+                TransientBitFlip(edge=("a", "b"), cycle=1, bit=0),
+                LinkDownFault(edge=("a", "b"), from_cycle=2),
+                ConfigWordDrop(link="cfg.a->b", cycle=3),
+                SlotTableUpset(router="R00", output=0, slot=0, cycle=4),
+            ),
+        )
+        assert len(plan) == 4
+        assert len(plan.data_specs()) == 2
+        assert len(plan.config_specs()) == 1
+        assert len(plan.table_specs()) == 1
+        assert plan_summary(plan) == {
+            "TransientBitFlip": 1,
+            "LinkDownFault": 1,
+            "ConfigWordDrop": 1,
+            "SlotTableUpset": 1,
+        }
+
+    def test_describe_is_stable(self):
+        plan = FaultPlan(
+            seed=1,
+            specs=(TransientBitFlip(edge=("a", "b"), cycle=1, bit=0),),
+        )
+        assert plan.describe() == plan.describe()
+        assert "TransientBitFlip" in plan.describe()
+
+
+class TestRandomPlan:
+    def _network(self):
+        return DaeliteNetwork(
+            build_mesh(3, 3),
+            daelite_parameters(slot_table_size=16),
+            host_ni="NI11",
+        )
+
+    def test_same_seed_same_plan(self):
+        network = self._network()
+        kwargs = dict(
+            horizon=500,
+            bit_flips=4,
+            stuck_ats=2,
+            link_downs=1,
+            table_upsets=3,
+            config_drops=2,
+            config_corrupts=2,
+        )
+        assert random_fault_plan(
+            9, network, **kwargs
+        ) == random_fault_plan(9, network, **kwargs)
+
+    def test_different_seeds_differ(self):
+        network = self._network()
+        a = random_fault_plan(1, network, horizon=500, bit_flips=6)
+        b = random_fault_plan(2, network, horizon=500, bit_flips=6)
+        assert a != b
+
+    def test_targets_exist_and_cycles_in_horizon(self):
+        network = self._network()
+        plan = random_fault_plan(
+            3,
+            network,
+            horizon=200,
+            start_cycle=50,
+            bit_flips=5,
+            stuck_ats=3,
+            link_downs=2,
+            table_upsets=4,
+            config_drops=3,
+            config_corrupts=3,
+        )
+        for spec in plan.specs:
+            if isinstance(
+                spec, (TransientBitFlip, StuckAtFault, LinkDownFault)
+            ):
+                assert spec.edge in network.links
+            elif isinstance(spec, SlotTableUpset):
+                assert spec.router in network.routers
+                assert spec.slot < network.params.slot_table_size
+            else:
+                assert spec.link in network.config_links
+            first = getattr(spec, "cycle", None)
+            if first is None:
+                first = spec.from_cycle
+            assert 50 <= first < 250
+            until = getattr(spec, "until_cycle", None)
+            if until is not None:
+                assert until <= 250
+
+    def test_bad_arguments_rejected(self):
+        network = self._network()
+        with pytest.raises(FaultInjectionError, match="horizon"):
+            random_fault_plan(1, network, horizon=0)
+        with pytest.raises(FaultInjectionError, match=">= 0"):
+            random_fault_plan(1, network, horizon=10, bit_flips=-1)

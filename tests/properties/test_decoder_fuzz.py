@@ -85,3 +85,116 @@ class TestDecoderFuzz:
             decoder.feed(None)
         except ProtocolError:
             pass
+
+    @settings(max_examples=100)
+    @given(
+        st.one_of(
+            st.integers(min_value=128, max_value=1 << 16),
+            st.integers(max_value=-1),
+        )
+    )
+    def test_out_of_range_word_rejected(self, word):
+        """Words a healthy 7-bit serializer cannot produce are a hard
+        protocol error, not silent truncation."""
+        decoder = fresh_decoder()
+        with pytest.raises(ProtocolError, match="7-bit range"):
+            decoder.feed(word)
+
+    @settings(max_examples=100)
+    @given(word_streams())
+    def test_reset_resynchronizes(self, stream):
+        """``reset()`` after a hard error must leave the decoder able
+        to decode the next packet — the recovery path the fault
+        monitors rely on."""
+        decoder = fresh_decoder()
+        for word in stream:
+            try:
+                decoder.feed(word)
+            except ProtocolError:
+                decoder.reset()
+        decoder.reset()  # abandon any packet the garbage left open
+        assert not decoder.busy
+        packet = build_path_packet(
+            SlotMask.of(8, {1}), [PathHop(3, router_port_word(0, 1))]
+        )
+        for word in packet.words:
+            decoder.feed(word)
+        (action,) = decoder.feed(None)
+        assert action.mask.slots == frozenset({1})
+
+
+class TestTruncatedPackets:
+    """Every way a packet can end early is a distinct, named error."""
+
+    def feed_then_gap(self, words):
+        decoder = fresh_decoder()
+        for word in words:
+            decoder.feed(word)
+        return decoder.feed(None)
+
+    def test_path_packet_without_pairs(self):
+        packet = build_path_packet(
+            SlotMask.of(8, {1}), [PathHop(3, router_port_word(0, 1))]
+        )
+        # Header + mask words only (an 8-slot mask takes two 7-bit
+        # words): the pair list is missing entirely.
+        with pytest.raises(ProtocolError, match="without any"):
+            self.feed_then_gap(packet.words[:3])
+
+    def test_path_packet_ends_inside_mask(self):
+        decoder = fresh_decoder(size=14)  # needs 2 mask words
+        decoder.feed(1)  # PATH_SETUP header
+        decoder.feed(0)  # first of two mask words
+        with pytest.raises(ProtocolError, match="inside the slot mask"):
+            decoder.feed(None)
+
+    def test_path_packet_ends_after_element_id(self):
+        packet = build_path_packet(
+            SlotMask.of(8, {1}), [PathHop(3, router_port_word(0, 1))]
+        )
+        with pytest.raises(ProtocolError, match="its data word"):
+            self.feed_then_gap(packet.words[:-1])
+
+    def test_channel_packet_before_element(self):
+        with pytest.raises(ProtocolError, match="before its element"):
+            self.feed_then_gap([3])  # CHANNEL_CONFIG header alone
+
+    def test_channel_packet_before_channel_word(self):
+        with pytest.raises(ProtocolError, match="before its channel"):
+            self.feed_then_gap([3, 3])
+
+    def test_channel_packet_between_field_and_value(self):
+        with pytest.raises(ProtocolError, match="field and its value"):
+            self.feed_then_gap([3, 3, 0, 1])
+
+    def test_channel_read_without_field(self):
+        with pytest.raises(ProtocolError, match="before its field"):
+            self.feed_then_gap([4, 3, 0])
+
+    def test_channel_read_with_extra_field_rejected(self):
+        decoder = fresh_decoder()
+        for word in (4, 3, 0, 1):  # complete CHANNEL_READ
+            decoder.feed(word)
+        with pytest.raises(ProtocolError, match="more than one field"):
+            decoder.feed(0)  # a second field word
+
+    def test_bus_packet_without_element(self):
+        with pytest.raises(ProtocolError, match="before its element"):
+            self.feed_then_gap([5])  # BUS_CONFIG header alone
+
+    def test_unknown_field_code_rejected(self):
+        decoder = fresh_decoder()
+        for word in (3, 3, 0):
+            decoder.feed(word)
+        with pytest.raises(ProtocolError, match="unknown channel field"):
+            decoder.feed(99)
+
+    def test_disconnect_word_outside_teardown_rejected(self):
+        decoder = fresh_decoder()
+        packet = build_path_packet(
+            SlotMask.of(8, {1}), [PathHop(3, router_port_word(0, 1))]
+        )
+        for word in packet.words[:-1]:
+            decoder.feed(word)
+        with pytest.raises(ProtocolError, match="PATH_TEARDOWN"):
+            decoder.feed(0b111_1111)

@@ -43,3 +43,35 @@ class TestTracer:
 
     def test_enabled_flag(self):
         assert Tracer().enabled
+
+    def test_event_str_layout(self):
+        tracer = Tracer()
+        tracer.emit(42, "R00", "route", "slot 3 in0->out1")
+        line = str(tracer.events[0])
+        # Fixed-width columns: cycle right-aligned to 8, component
+        # padded to 24, category to 10, then the free-form message.
+        assert line.startswith(f"[{42:>8}] ")
+        assert "R00" in line[:36]
+        assert line.endswith("slot 3 in0->out1")
+
+    def test_empty_category_set_records_nothing(self):
+        tracer = Tracer(categories=())
+        tracer.emit(1, "R00", "route", "a")
+        assert tracer.events == []
+
+    def test_format_empty_is_empty_string(self):
+        assert Tracer().format() == ""
+
+    def test_filter_with_no_match_is_empty(self):
+        tracer = Tracer()
+        tracer.emit(1, "R00", "route", "a")
+        assert tracer.filter(component="R99") == []
+        assert tracer.filter(category="config") == []
+
+    def test_clear_preserves_category_filter(self):
+        tracer = Tracer(categories=["route"])
+        tracer.emit(1, "R00", "route", "a")
+        tracer.clear()
+        tracer.emit(2, "R00", "config", "still dropped")
+        tracer.emit(3, "R00", "route", "kept")
+        assert [event.message for event in tracer.events] == ["kept"]
