@@ -5,7 +5,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional, Tuple
 
@@ -27,18 +29,53 @@ NO_FAST_PATH_OPTION = "--no-fast-path"
 BENCH_RESULT_DIR = Path(__file__).resolve().parent.parent
 
 
+def _git_sha() -> Optional[str]:
+    """Commit the numbers were taken at, or ``None`` outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=BENCH_RESULT_DIR,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _cpu_model() -> str:
+    """Human-readable CPU model, best effort across platforms."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Write a benchmark result to ``BENCH_<name>.json`` in the repo
     root and return the path.
 
-    The payload is augmented with the interpreter/platform the numbers
-    were taken on, so results from different machines are never compared
-    blindly.
+    The payload is augmented with full provenance — interpreter,
+    platform, CPU model, git commit, UTC timestamp, and the kernel mode
+    in effect — so results from different machines, commits, or kernel
+    configurations are never compared blindly.
     """
     record = {
         "benchmark": name,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "cpu": _cpu_model(),
+        "git_sha": _git_sha(),
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "kernel_mode": resolved_kernel_mode(),
         **payload,
     }
     path = BENCH_RESULT_DIR / f"BENCH_{name}.json"

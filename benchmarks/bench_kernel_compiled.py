@@ -1,0 +1,183 @@
+"""Compiled-kernel throughput on a steady-state 8x8 mesh workload.
+
+The compiled engine's claim (ISSUE 5): once the configuration tree is
+quiet, flattening the data plane into integer-indexed tables and
+replaying the periodic steady state arithmetically must be >=5x faster
+than the activity kernel on a *busy* workload — the profile where
+activity-driven scheduling has nothing left to skip.  Results (median of
+several runs) land in ``BENCH_kernel.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _helpers import write_bench_json
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.params import daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE, COMPILED_MODE, NAIVE_MODE
+from repro.topology import build_mesh, ni_name
+from repro.traffic.generators import CbrGenerator
+from repro.traffic.sinks import CheckingSink
+
+#: Corner/edge flows crossing the whole 8x8 mesh in four directions.
+FLOW_PAIRS = [
+    (ni_name(0, 0), ni_name(7, 7)),
+    (ni_name(0, 7), ni_name(7, 0)),
+    (ni_name(3, 0), ni_name(4, 7)),
+    (ni_name(0, 3), ni_name(7, 4)),
+]
+
+#: One word per flow every GEN_PERIOD cycles — continuous traffic, so
+#: the activity kernel has awake components every single cycle.  The
+#: rate sits below the credit-window limit of a cross-mesh flow
+#: (8 credits per ~100-cycle round trip), so queues stay bounded and
+#: the steady state is exactly periodic.
+GEN_PERIOD = 20
+
+WARMUP_CYCLES = 2_000
+
+
+def build_workload(mode):
+    """An 8x8 mesh with four configured cross-mesh CBR flows."""
+    params = daelite_parameters(slot_table_size=16, config_word_bits=9)
+    mesh = build_mesh(8, 8)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    allocated = [
+        allocator.allocate_connection(
+            ConnectionRequest(
+                f"flow{i}", src, dst, forward_slots=2, reverse_slots=1
+            )
+        )
+        for i, (src, dst) in enumerate(FLOW_PAIRS)
+    ]
+    net = DaeliteNetwork(mesh, params, host_ni="NI00", kernel_mode=mode)
+    handles = [net.configure(conn) for conn in allocated]
+    for handle in handles:
+        net.run_until_configured(handle)
+    sinks = []
+    for i, handle in enumerate(handles):
+        src, dst = FLOW_PAIRS[i]
+        fwd = handle.forward
+        gen = CbrGenerator(
+            f"gen{i}",
+            inject=net.ni(src).injector(fwd.src_channel, f"flow{i}"),
+            period=GEN_PERIOD,
+        )
+        sink = CheckingSink(
+            f"sink{i}",
+            receive=net.ni(dst).receiver(fwd.dst_channel),
+            words_per_cycle=2,
+            stats=net.stats,
+        )
+        net.kernel.add(gen)
+        net.kernel.add(sink)
+        sinks.append(sink)
+    return net, sinks
+
+
+def timed_run(mode, run_cycles):
+    """Wall-clock one measured window; returns (elapsed, net, sinks)."""
+    net, sinks = build_workload(mode)
+    net.run(WARMUP_CYCLES)
+    started = time.perf_counter()
+    net.run(run_cycles)
+    elapsed = time.perf_counter() - started
+    return elapsed, net, sinks
+
+
+def delivered_profile(net):
+    """Per-flow delivered word counts at the current cycle."""
+    return {
+        f"flow{i}": net.stats.delivered_words(f"flow{i}")
+        for i in range(len(FLOW_PAIRS))
+    }
+
+
+def test_compiled_kernel_speedup_steady_state():
+    """Compiled mode must beat activity by >=5x on saturated traffic,
+    delivering the bit-identical word stream."""
+    compiled_cycles = 30_000
+    activity_cycles = 30_000
+    naive_cycles = 3_000
+    runs = 5
+
+    compiled_walls, compiled_nets = [], []
+    for _ in range(runs):
+        wall, net, sinks = timed_run(COMPILED_MODE, compiled_cycles)
+        compiled_walls.append(wall)
+        compiled_nets.append(net)
+        assert all(sink.clean for sink in sinks)
+    activity_walls, activity_nets = [], []
+    for _ in range(runs):
+        wall, net, sinks = timed_run(ACTIVITY_MODE, activity_cycles)
+        activity_walls.append(wall)
+        activity_nets.append(net)
+        assert all(sink.clean for sink in sinks)
+    naive_walls = []
+    for _ in range(3):
+        wall, _, sinks = timed_run(NAIVE_MODE, naive_cycles)
+        naive_walls.append(wall)
+        assert all(sink.clean for sink in sinks)
+
+    compiled_cps = compiled_cycles / statistics.median(compiled_walls)
+    activity_cps = activity_cycles / statistics.median(activity_walls)
+    naive_cps = naive_cycles / statistics.median(naive_walls)
+    speedup = compiled_cps / activity_cps
+    vs_naive = compiled_cps / naive_cps
+
+    # Identical cycle horizon => the word streams must match exactly.
+    reference = delivered_profile(activity_nets[0])
+    assert all(count > 0 for count in reference.values())
+    for net in compiled_nets + activity_nets:
+        assert delivered_profile(net) == reference
+        assert net.total_dropped_words == 0
+
+    kernel_stats = compiled_nets[0].kernel.kernel_stats()
+    assert kernel_stats["compiled_cycles"] > 0
+    assert kernel_stats["replayed_epochs"] > 0
+
+    print("\n8x8 MESH steady state (4 CBR flows) — kernel throughput")
+    print(f"{'kernel':>9} {'cycles/s':>12}")
+    print(f"{'compiled':>9} {compiled_cps:>12,.0f}")
+    print(f"{'activity':>9} {activity_cps:>12,.0f}")
+    print(f"{'naive':>9} {naive_cps:>12,.0f}")
+    print(
+        f"speedup: {speedup:.1f}x vs activity, {vs_naive:.1f}x vs naive "
+        f"(replayed {kernel_stats['replayed_cycles']} of "
+        f"{compiled_cycles + WARMUP_CYCLES} cycles in "
+        f"{kernel_stats['replayed_epochs']} epochs)"
+    )
+
+    write_bench_json(
+        "kernel",
+        {
+            "workload": "8x8 mesh, 4 cross-mesh CBR flows, T=16",
+            "runs": runs,
+            "measured_cycles": {
+                "compiled": compiled_cycles,
+                "activity": activity_cycles,
+                "naive": naive_cycles,
+            },
+            "cycles_per_second": {
+                "compiled": round(compiled_cps),
+                "activity": round(activity_cps),
+                "naive": round(naive_cps),
+            },
+            "speedup_compiled_vs_activity": round(speedup, 2),
+            "speedup_compiled_vs_naive": round(vs_naive, 2),
+            "compiled_telemetry": {
+                "compiled_cycles": kernel_stats["compiled_cycles"],
+                "replayed_epochs": kernel_stats["replayed_epochs"],
+                "replayed_cycles": kernel_stats["replayed_cycles"],
+                "compile_fallbacks": kernel_stats["compile_fallbacks"],
+            },
+        },
+    )
+
+    assert speedup >= 5.0, (
+        f"compiled kernel only {speedup:.2f}x faster than activity on "
+        f"the steady-state 8x8 workload — expected >=5x"
+    )

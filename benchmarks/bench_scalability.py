@@ -16,13 +16,17 @@ from _helpers import connected_daelite
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
-from repro.sim.kernel import ACTIVITY_MODE, NAIVE_MODE
+from repro.sim.kernel import ACTIVITY_MODE, COMPILED_MODE, NAIVE_MODE
 from repro.topology import build_mesh, ni_name, router_name
+from repro.traffic.generators import CbrGenerator
+from repro.traffic.sinks import CheckingSink
 
 
-def corner_to_corner_setup(side):
+def corner_to_corner_setup(side, config_word_bits=7):
     mesh = build_mesh(side, side)
-    params = daelite_parameters(slot_table_size=16)
+    params = daelite_parameters(
+        slot_table_size=16, config_word_bits=config_word_bits
+    )
     allocator = SlotAllocator(topology=mesh, params=params)
     dst = ni_name(side - 1, side - 1)
     conn = allocator.allocate_connection(
@@ -55,6 +59,104 @@ def test_setup_scaling_with_network_size(benchmark):
     # Even at the 64-element envelope, set-up stays ~100 cycles —
     # the basis for "fast connection set-up" at scale.
     assert cycles[-1] < 150
+
+
+def test_setup_scaling_to_16x16_with_wider_words(benchmark):
+    """Beyond the paper's 7-bit envelope: 11-bit configuration words
+    address up to 1024 elements, so the same set-up machinery carries
+    unchanged to a 16x16 mesh (512 elements)."""
+
+    def sweep():
+        return [
+            corner_to_corner_setup(side, config_word_bits=11)
+            for side in (8, 12, 16)
+        ]
+
+    rows = benchmark(sweep)
+    print("\nSCALABILITY — corner-to-corner set-up, 11-bit words (T=16)")
+    print(
+        f"{'elements':>9} {'tree depth':>11} {'hops':>5} {'set-up':>7}"
+    )
+    for elements, depth, hops, cycles in rows:
+        print(f"{elements:>9} {depth:>11} {hops:>5} {cycles:>7}")
+    assert rows[-1][0] == 512
+    cycles = [row[3] for row in rows]
+    assert cycles == sorted(cycles)
+    # Set-up grows only with path length (+~8 cycles/hop, Table III),
+    # never with element count — the fast-set-up claim survives 8x the
+    # paper's addressing envelope.
+    assert cycles[-1] < 500
+
+
+def run_steady_flow_16x16(mode, run_cycles):
+    """One corner-to-corner CBR flow on a 16x16 mesh (512 elements,
+    11-bit config words) in a periodic steady state — the profile the
+    compiled engine's epoch replay is built for."""
+    params = daelite_parameters(slot_table_size=16, config_word_bits=11)
+    mesh = build_mesh(16, 16)
+    dst = ni_name(15, 15)
+    net, _, handle = connected_daelite(
+        mesh, params, "NI00", dst, kernel_mode=mode
+    )
+    # The 30-hop round trip puts the credit-window limit near
+    # 8 credits / ~200 cycles; period 40 keeps queues bounded so the
+    # steady state is exactly periodic.
+    gen = CbrGenerator(
+        "gen",
+        inject=net.ni("NI00").injector(handle.forward.src_channel, "c"),
+        period=40,
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni(dst).receiver(handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen)
+    net.kernel.add(sink)
+    net.run(2_000)  # settle into the steady state
+    started = time.perf_counter()
+    net.run(run_cycles)
+    elapsed = time.perf_counter() - started
+    assert sink.clean and net.stats.delivered_words("c") > 0
+    return elapsed, net
+
+
+def test_compiled_kernel_speedup_on_16x16_mesh(benchmark):
+    """The compiled engine's advantage holds at the 512-element scale:
+    >=3x over the activity kernel on a steady 16x16 flow (conservative
+    floor; the medium-mesh bench pins the headline number)."""
+    run_cycles = 20_000
+
+    def compiled_run():
+        return run_steady_flow_16x16(COMPILED_MODE, run_cycles)
+
+    compiled_wall, compiled_net = benchmark(compiled_run)
+    compiled_wall = min(
+        compiled_wall, run_steady_flow_16x16(COMPILED_MODE, run_cycles)[0]
+    )
+    activity_wall = min(
+        run_steady_flow_16x16(ACTIVITY_MODE, run_cycles)[0]
+        for _ in range(2)
+    )
+    speedup = activity_wall / compiled_wall
+    kstats = compiled_net.kernel.kernel_stats()
+    print("\n16x16 MESH (512 elements, T=16) — steady-state wall-clock")
+    print(
+        f"compiled {run_cycles / compiled_wall:>10,.0f} cycles/s   "
+        f"activity {run_cycles / activity_wall:>10,.0f} cycles/s   "
+        f"speedup {speedup:.1f}x"
+    )
+    print(
+        f"replayed {kstats['replayed_cycles']} cycles in "
+        f"{kstats['replayed_epochs']} epochs"
+    )
+    assert kstats["compiled_cycles"] > 0
+    assert kstats["replayed_epochs"] > 0
+    assert speedup >= 3.0, (
+        f"compiled kernel only {speedup:.2f}x faster than activity on "
+        f"the 16x16 steady flow — expected >=3x"
+    )
 
 
 def run_sparse_workload_8x8(mode, run_cycles=20_000):

@@ -17,8 +17,11 @@ from repro.analysis import (
 )
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
+from repro.sim.kernel import COMPILED_MODE
 from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
+from repro.traffic.generators import CbrGenerator
+from repro.traffic.sinks import CheckingSink
 
 
 def main() -> None:
@@ -85,6 +88,42 @@ def main() -> None:
     print(f"words dropped: {network.total_dropped_words}")
     assert stats.max_latency <= bound
     assert network.total_dropped_words == 0
+
+    # 6. Same platform in the compiled kernel: flatten the configured
+    #    data plane and replay the periodic steady state arithmetically
+    #    (REPRO_KERNEL_MODE=compiled selects this globally).
+    fast = DaeliteNetwork(
+        topology, params, host_ni="NI00", kernel_mode=COMPILED_MODE
+    )
+    fast_handle = fast.configure(connection)
+    fast.run_until_configured(fast_handle)
+    fast.kernel.add(
+        CbrGenerator(
+            "gen",
+            inject=fast.ni("NI00").injector(
+                fast_handle.forward.src_channel, "quickstart"
+            ),
+            period=8,
+            total_words=words,
+        )
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=fast.ni("NI11").receiver(fast_handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=fast.stats,
+    )
+    fast.kernel.add(sink)
+    fast.run(words * 8 + 200)
+    kstats = fast.kernel.kernel_stats()
+    assert sink.clean
+    assert fast.stats.delivered_words("quickstart") == words
+    print(
+        f"compiled run : {words} words in order; "
+        f"{kstats['compiled_cycles']} cycles compiled, "
+        f"{kstats['replayed_cycles']} replayed in "
+        f"{kstats['replayed_epochs']} epochs"
+    )
     print("quickstart OK")
 
 

@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from ..alloc.spec import AllocatedChannel, AllocatedConnection
 from ..errors import ConfigurationError, TopologyError
 from ..params import NetworkParameters, aelite_parameters
+from ..sim.compiled import install_refusing_provider
 from ..sim.kernel import Kernel
 from ..sim.link import Link
 from ..sim.stats import StatsCollector
@@ -85,6 +86,11 @@ class AeliteNetwork:
             processor_overhead=processor_overhead,
         )
         self._build(strict)
+        install_refusing_provider(
+            self,
+            "aelite's source-routed data plane has no compiled model; "
+            "compiled mode steps it through the activity kernel",
+        )
 
     def _build(self, strict: bool) -> None:
         for element in self.topology.elements.values():

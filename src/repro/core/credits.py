@@ -29,7 +29,7 @@ from ..sim.flit import Word
 from .config_protocol import FLAG_ENABLED, FLAG_FLOW_CONTROLLED
 
 
-@dataclass
+@dataclass(slots=True)
 class SourceChannel:
     """Sending endpoint of a channel inside the source NI.
 
@@ -110,7 +110,7 @@ class SourceChannel:
         self.credit_counter += amount
 
 
-@dataclass
+@dataclass(slots=True)
 class DestChannel:
     """Receiving endpoint of a channel inside the destination NI.
 

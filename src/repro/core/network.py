@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from ..alloc.spec import AllocatedConnection, AllocatedMulticast
 from ..errors import ConfigurationError, TopologyError
 from ..params import NetworkParameters, daelite_parameters
+from ..sim.compiled import install_compile_provider
 from ..sim.kernel import Kernel
 from ..sim.link import Link, NarrowLink
 from ..sim.stats import StatsCollector
@@ -93,6 +94,7 @@ class DaeliteNetwork:
             params=self.params,
             cycle_supplier=lambda: self.kernel.cycle,
         )
+        install_compile_provider(self)
 
     # -- construction ------------------------------------------------------------
 

@@ -43,6 +43,46 @@ from .credits import DestChannel, SourceChannel
 from .slot_table import NiArrivalTable, NiInjectionTable
 
 
+class ChannelInjector:
+    """Callable bound to one NI source channel.
+
+    Traffic generators hold one of these as their ``inject`` function.
+    Keeping the binding introspectable (``ni``/``channel``/``connection``
+    attributes rather than a closure) lets the compiled engine map a
+    generator onto the flat schedule it belongs to.
+    """
+
+    __slots__ = ("ni", "channel", "connection")
+
+    def __init__(
+        self,
+        ni: "NetworkInterface",
+        channel: int,
+        connection: str = "",
+    ) -> None:
+        self.ni = ni
+        self.channel = channel
+        self.connection = connection
+
+    def __call__(self, payload: int) -> Word:
+        return self.ni.submit(self.channel, payload, self.connection)
+
+
+class ChannelReceiver:
+    """Callable bound to one NI destination channel (see
+    :class:`ChannelInjector`); sinks hold one as their ``receive``
+    function."""
+
+    __slots__ = ("ni", "channel")
+
+    def __init__(self, ni: "NetworkInterface", channel: int) -> None:
+        self.ni = ni
+        self.channel = channel
+
+    def __call__(self, max_words: Optional[int] = None) -> List[Word]:
+        return self.ni.receive(self.channel, max_words)
+
+
 class NetworkInterface(Component):
     """A daelite NI: slot tables, channel queues, credits, config port.
 
@@ -94,6 +134,9 @@ class NetworkInterface(Component):
         self.tracer: Tracer = NULL_TRACER
         self.dropped_words = 0
         self._sequence_counters: Dict[int, int] = {}
+        #: Config actions applied; part of the compiled-engine validity
+        #: token (covers channel writes slot-table versions cannot see).
+        self.config_applied = 0
 
     # -- channel access (used by shells, traffic generators, the host) -------
 
@@ -157,6 +200,16 @@ class NetworkInterface(Component):
         Draining is what generates credits back to the source.
         """
         return self.dest_channel(channel).drain(max_words)
+
+    def injector(
+        self, channel: int, connection: str = ""
+    ) -> ChannelInjector:
+        """Bound injection callable for traffic generators."""
+        return ChannelInjector(self, channel, connection)
+
+    def receiver(self, channel: int) -> ChannelReceiver:
+        """Bound drain callable for traffic sinks."""
+        return ChannelReceiver(self, channel)
 
     def pending_injections(self, channel: int) -> int:
         """Words queued but not yet injected on ``channel``."""
@@ -338,6 +391,7 @@ class NetworkInterface(Component):
     # -- configuration ----------------------------------------------------------
 
     def _apply(self, action: Action) -> None:
+        self.config_applied += 1
         if isinstance(action, NiPathAction):
             self._apply_path(action)
         elif isinstance(action, ChannelWriteAction):

@@ -76,6 +76,9 @@ class Router(Component):
         )
         self.dropped_words = 0
         self.forwarded_words = 0
+        #: Config actions applied; part of the compiled-engine validity
+        #: token (covers mutations slot-table versions cannot see).
+        self.config_applied = 0
         #: Optional event tracer (set by the network builder).
         self.tracer: Tracer = NULL_TRACER
         #: Optional stats collector (set by the network builder); drops
@@ -164,6 +167,7 @@ class Router(Component):
             self.config.apply_guarded(cycle, actions, self._apply)
 
     def _apply(self, action: Action) -> None:
+        self.config_applied += 1
         if not isinstance(action, RouterPathAction):
             raise SimulationError(
                 f"{self.name}: router received non-router config action "

@@ -156,6 +156,9 @@ class RouterSlotTable:
         # and invalidated by set/clear.  The router hot path hits this
         # instead of walking every output port each cycle.
         self._forwards: List[Optional[tuple]] = [None] * slot_table_size
+        #: Bumped on every set/clear; the compiled engine's validity
+        #: token sums these to detect reprogramming without diffing.
+        self.version = 0
 
     def entry(self, output: int, slot: int) -> Optional[int]:
         """Input port feeding ``output`` during ``slot`` (or ``None``).
@@ -188,12 +191,14 @@ class RouterSlotTable:
             )
         self._table[output][slot] = input_port
         self._forwards[slot] = None
+        self.version += 1
 
     def clear_entry(self, output: int, slot: int) -> None:
         """Tear-down: stop forwarding on ``output`` during ``slot``."""
         self._check_output(output)
         self._table[output][slot % self.size] = None
         self._forwards[slot % self.size] = None
+        self.version += 1
 
     def forwards(self, slot: int) -> tuple:
         """Cached ``(output, input)`` pairs active during ``slot``.
@@ -267,6 +272,8 @@ class NiInjectionTable:
         # Sorted tuple of granted slots, computed lazily; lets the NI
         # jump straight to its next injection opportunity.
         self._occupied: Optional[tuple] = None
+        #: Bumped on every set/clear (see RouterSlotTable.version).
+        self.version = 0
 
     def channel(self, slot: int) -> Optional[int]:
         """Channel allowed to inject during ``slot`` (or ``None``)."""
@@ -300,10 +307,12 @@ class NiInjectionTable:
             )
         self._table[slot] = channel
         self._occupied = None
+        self.version += 1
 
     def clear_slot(self, slot: int) -> None:
         self._table[slot % self.size] = None
         self._occupied = None
+        self.version += 1
 
     def slots_of(self, channel: int) -> Set[int]:
         """All slots granted to ``channel``."""

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Word:
     """One data word travelling through the network.
 
@@ -66,7 +66,7 @@ class Word:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phit:
     """Wire bundle transferred over one link in one cycle.
 

@@ -18,9 +18,9 @@ so it raises :class:`~repro.errors.SimulationError`.
 Evaluation modes
 ----------------
 
-The kernel supports two modes, selected per instance or through the
-``REPRO_KERNEL_MODE`` environment variable (``activity``, the default, or
-``naive``):
+The kernel supports three modes, selected per instance or through the
+``REPRO_KERNEL_MODE`` environment variable (``activity``, the default,
+``naive``, or ``compiled``):
 
 * ``naive`` — the reference semantics above, literally: every component is
   evaluated and every register latched on every cycle.
@@ -44,6 +44,21 @@ The kernel supports two modes, selected per instance or through the
     in between — skipped cycles are bit-for-bit identical to stepping
     through them — so the jump is sound; the static TDM schedule makes
     the next-work computation O(1) per component.
+
+* ``compiled`` — the configured GS data plane is flattened into integer
+  event schedules (see :mod:`repro.sim.compiled`) and advanced in one
+  tight loop with no component dispatch and no :class:`Register` traffic
+  on the fast path; exactly periodic steady states are replayed
+  arithmetically, epoch by epoch.  A network opts in by installing a
+  ``compile_provider`` on the kernel.  Whenever compilation is not
+  possible — no provider, config traffic in flight, armed fault hooks,
+  strict-registers, a tracer, an unknown component, words mid-flight —
+  the kernel *transparently falls back* to the activity mode for the
+  affected cycles and records a typed :class:`CompileRefusal`
+  (``Kernel.kernel_stats()["compile_fallbacks"]``).  Registers and stats
+  are re-materialized bit-exactly at every exit from compiled execution,
+  so callbacks, ``run_until`` predicates and external code always
+  observe the same state as stepped execution.
 
 The activity invariant: a component may be skipped in a cycle only if its
 ``evaluate`` would have been a pure no-op, and a register may skip the
@@ -96,8 +111,52 @@ STRICT_REGISTERS_ENV = "REPRO_STRICT_REGISTERS"
 ACTIVITY_MODE = "activity"
 #: Reference evaluation: everything, every cycle.
 NAIVE_MODE = "naive"
+#: Flat-schedule compiled evaluation with steady-state epoch replay
+#: (falls back to the activity kernel whenever the network is not
+#: compilable — see :mod:`repro.sim.compiled`).
+COMPILED_MODE = "compiled"
 
-_MODES = (ACTIVITY_MODE, NAIVE_MODE)
+_MODES = (ACTIVITY_MODE, NAIVE_MODE, COMPILED_MODE)
+
+
+class CompileRefusal:
+    """A typed reason why the data plane cannot be compiled right now.
+
+    Returned by a kernel's compile provider (and queryable through
+    :meth:`Kernel.kernel_stats`) whenever ``compiled`` mode has to fall
+    back to the activity kernel.  ``kind`` is a stable machine-readable
+    tag; ``detail`` is free-form diagnostics.
+    """
+
+    __slots__ = ("kind", "detail")
+
+    #: No network installed a compile provider on this kernel.
+    NO_PROVIDER = "no_provider"
+    #: Configuration traffic is in flight on the config tree.
+    CONFIG_ACTIVE = "config_active"
+    #: A FaultInjector armed fault hooks on data or config links.
+    FAULT_HOOKS_ARMED = "fault_hooks_armed"
+    #: The kernel verifies the strict register contract, which only the
+    #: stepped kernels exercise.
+    STRICT_REGISTERS = "strict_registers"
+    #: An event tracer is attached (per-hop events are not compiled).
+    TRACER_ACTIVE = "tracer_active"
+    #: A component the compiler does not know how to flatten.
+    UNSUPPORTED_COMPONENT = "unsupported_component"
+    #: The programmed schedule would drop words (dead-end walk).
+    INCONSISTENT_SCHEDULE = "inconsistent_schedule"
+    #: Words are mid-flight in pipeline registers; the engine only
+    #: starts from a quiescent data plane.
+    DATAPATH_BUSY = "datapath_busy"
+    #: Parameters outside the compiled timing model.
+    UNSUPPORTED_PARAMS = "unsupported_params"
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"CompileRefusal({self.kind!r}, {self.detail!r})"
 
 
 def default_kernel_mode() -> str:
@@ -356,12 +415,29 @@ class Kernel:
         self.active_cycles = 0
         self.fast_forwarded_cycles = 0
         self.evaluations = 0
+        #: Installed by a network that knows how to flatten its data
+        #: plane: ``provider(kernel, previous_engine)`` returns a fresh
+        #: (or revalidated) engine object, or a :class:`CompileRefusal`.
+        self.compile_provider: Optional[
+            Callable[["Kernel", Any], Any]
+        ] = None
+        #: The live compiled engine, if any (owned by COMPILED_MODE).
+        self._engine: Any = None
+        #: Cycles advanced by the compiled engine's event loop.
+        self.compiled_cycles = 0
+        #: Steady-state epochs applied arithmetically instead of stepped.
+        self.replayed_epochs = 0
+        #: Cycles covered by replayed epochs (subset of compiled_cycles).
+        self.replayed_cycles = 0
+        #: refusal kind -> number of fallbacks to the activity kernel.
+        self.compile_fallbacks: Dict[str, int] = {}
+        self._last_refusal: Optional[CompileRefusal] = None
 
     # -- mode ----------------------------------------------------------------
 
     @property
     def mode(self) -> str:
-        """The evaluation mode, ``"activity"`` or ``"naive"``."""
+        """``"activity"``, ``"naive"`` or ``"compiled"``."""
         return self._mode
 
     def set_mode(self, mode: str) -> None:
@@ -375,6 +451,7 @@ class Kernel:
                 f"unknown kernel mode {mode!r}; expected one of {_MODES}"
             )
         if mode != self._mode:
+            self._retire_engine(decompile=True)
             self._mode = mode
             self._watchers = None  # rebuild activity state on next step
             self._strict_sets.clear()
@@ -383,6 +460,7 @@ class Kernel:
 
     def add(self, component: Component) -> Component:
         """Register a component (and its registers) with the kernel."""
+        self._retire_engine(decompile=True)
         self.components.append(component)
         component._kernel = self
         for register in component.registers:
@@ -398,6 +476,7 @@ class Kernel:
 
     def add_register(self, register: Register) -> Register:
         """Track a free-standing register not owned by any component."""
+        self._retire_engine(decompile=True)
         self._extra_registers.append(register)
         register._sink = self._dirty
         self._watchers = None
@@ -406,6 +485,7 @@ class Kernel:
 
     def _adopt_register(self, register: Register) -> None:
         """Hook a register created after its component was added."""
+        self._retire_engine(decompile=True)
         register._sink = self._dirty
         self._watchers = None
         self._strict_sets.clear()
@@ -594,6 +674,118 @@ class Kernel:
         self._wake = wake
         self.cycle = cycle + 1
 
+    # -- compiled-mode engine lifecycle ---------------------------------------
+
+    def _note_refusal(self, refusal: CompileRefusal) -> None:
+        self._last_refusal = refusal
+        self.compile_fallbacks[refusal.kind] = (
+            self.compile_fallbacks.get(refusal.kind, 0) + 1
+        )
+
+    def _retire_engine(self, decompile: bool = True) -> None:
+        """Drop the compiled engine, optionally materializing its state.
+
+        ``decompile=True`` writes the engine's in-flight words back into
+        the pipeline registers and flushes all deferred counters, so the
+        stepped kernels (and external observers) resume from bit-exact
+        state.  ``decompile=False`` simply discards it (reset paths,
+        where registers are about to be cleared anyway).
+        """
+        engine = self._engine
+        if engine is None:
+            return
+        self._engine = None
+        if decompile:
+            engine.decompile()
+        self._watchers = None  # rebuild activity carry/wake from registers
+
+    def _acquire_engine(self) -> Any:
+        """Return a valid compiled engine, or fall back (``None``).
+
+        The provider revalidates a previous engine cheaply (config-tree
+        quiescence, schedule version token) and recompiles only when the
+        programmed schedule actually changed.  On refusal the old engine
+        is decompiled so the activity fallback sees current state.
+        """
+        provider = self.compile_provider
+        if provider is None:
+            self._retire_engine(decompile=True)
+            self._note_refusal(
+                CompileRefusal(
+                    CompileRefusal.NO_PROVIDER,
+                    "no network installed a compile provider",
+                )
+            )
+            return None
+        result = provider(self, self._engine)
+        if isinstance(result, CompileRefusal):
+            self._retire_engine(decompile=True)
+            self._note_refusal(result)
+            return None
+        self._engine = result
+        return result
+
+    def flush_compiled(self) -> None:
+        """Materialize compiled-engine state into registers and stats.
+
+        A no-op outside compiled execution.  The engine also flushes at
+        every exit from :meth:`step`, so this is only needed by code
+        inspecting registers *between* engine-internal checkpoints.
+        """
+        if self._engine is not None:
+            self._engine.flush()
+
+    def kernel_stats(self) -> Dict[str, Any]:
+        """Instrumentation snapshot, including compiled-mode telemetry."""
+        refusal = self._last_refusal
+        return {
+            "mode": self._mode,
+            "cycle": self.cycle,
+            "active_cycles": self.active_cycles,
+            "evaluations": self.evaluations,
+            "fast_forwarded_cycles": self.fast_forwarded_cycles,
+            "compiled_cycles": self.compiled_cycles,
+            "replayed_epochs": self.replayed_epochs,
+            "replayed_cycles": self.replayed_cycles,
+            "compile_fallbacks": dict(self.compile_fallbacks),
+            "last_refusal": None if refusal is None else refusal.kind,
+            "last_refusal_detail": (
+                None if refusal is None else refusal.detail
+            ),
+        }
+
+    def _step_compiled(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles, compiled where possible.
+
+        Callbacks are barriers: they may mutate arbitrary state, so the
+        engine runs up to the earliest scheduled callback, decompiles,
+        and the callback's cycle executes under the activity kernel;
+        eligibility is then re-checked.  Any refusal falls back to the
+        activity kernel for the remainder of this call — re-probing
+        every cycle would make dense stepped phases quadratic.
+        """
+        end = self.cycle + cycles
+        while self.cycle < end:
+            engine = self._acquire_engine()
+            if engine is None:
+                self._step_activity(end - self.cycle)
+                return
+            barrier = end
+            for scheduled in self._callbacks:
+                if self.cycle <= scheduled < barrier:
+                    barrier = scheduled
+            if barrier > self.cycle:
+                refusal = engine.run_to(barrier)
+                if refusal is not None:
+                    self._retire_engine(decompile=True)
+                    self._note_refusal(refusal)
+                    self._step_activity(end - self.cycle)
+                    return
+            if self.cycle < end:
+                # A callback is due at the current cycle; run it stepped.
+                self._retire_engine(decompile=True)
+                self._step_activity(1)
+
     # -- execution -----------------------------------------------------------
 
     def step(self, cycles: int = 1) -> None:
@@ -601,6 +793,8 @@ class Kernel:
         with self._strict_stepping():
             if self._mode == NAIVE_MODE:
                 self._step_naive(cycles)
+            elif self._mode == COMPILED_MODE:
+                self._step_compiled(cycles)
             else:
                 self._step_activity(cycles)
 
@@ -659,6 +853,10 @@ class Kernel:
         """
         start = self.cycle
         limit = start + max_cycles
+        # run_until polls arbitrary state between cycles — inherently
+        # stepped execution, so compiled mode defers to the activity
+        # kernel here (after materializing any engine state).
+        self._retire_engine(decompile=True)
         with self._strict_stepping():
             while not predicate():
                 if self.cycle >= limit:
@@ -683,6 +881,7 @@ class Kernel:
 
     def reset(self) -> None:
         """Reset the clock, all components, and scheduled callbacks."""
+        self._retire_engine(decompile=False)  # registers reset below
         self.cycle = 0
         self._callbacks.clear()
         for component in self.components:

@@ -43,6 +43,14 @@ class Link:
             hot path to a single attribute check.
     """
 
+    __slots__ = (
+        "name",
+        "register",
+        "phits_carried",
+        "words_carried",
+        "fault_hook",
+    )
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.register = Register(f"link.{name}", idle=IDLE_PHIT)
@@ -90,6 +98,14 @@ class NarrowLink:
     size of the configuration words".  A value of ``None`` models the
     valid line being deasserted.
     """
+
+    __slots__ = (
+        "name",
+        "width_bits",
+        "register",
+        "words_carried",
+        "fault_hook",
+    )
 
     def __init__(self, name: str, width_bits: int = 7) -> None:
         if width_bits < 1:

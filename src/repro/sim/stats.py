@@ -23,7 +23,7 @@ FAULT_INJECTED = "inject"
 FAULT_DETECTED = "detect"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultEvent:
     """One injected or detected fault, as recorded by the collector.
 
@@ -59,7 +59,7 @@ class FaultEvent:
         ).rstrip()
 
 
-@dataclass
+@dataclass(slots=True)
 class WordRecord:
     """Lifecycle of a single word, keyed by (connection, sequence)."""
 
@@ -76,7 +76,7 @@ class WordRecord:
         return self.ejected_at - self.injected_at
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectionStats:
     """Aggregated per-connection statistics."""
 

@@ -15,14 +15,22 @@ from ..errors import TopologyError
 from .topology import Topology
 
 
+def _grid_suffix(x: int, y: int) -> str:
+    # The paper's compact R10/NI10 form is ambiguous once a coordinate
+    # reaches 10 (R1,10 vs R11,0), so large meshes switch to an
+    # x-separated form (distinct from the NI index's "_" suffix);
+    # names on meshes up to 10x10 are unchanged.
+    return f"{x}{y}" if x < 10 and y < 10 else f"{x}x{y}"
+
+
 def router_name(x: int, y: int) -> str:
     """Canonical router name at grid position (x, y)."""
-    return f"R{x}{y}"
+    return f"R{_grid_suffix(x, y)}"
 
 
 def ni_name(x: int, y: int, index: int = 0) -> str:
     """Canonical NI name at grid position (x, y), NI number ``index``."""
-    base = f"NI{x}{y}"
+    base = f"NI{_grid_suffix(x, y)}"
     return base if index == 0 else f"{base}_{index}"
 
 

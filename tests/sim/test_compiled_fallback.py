@@ -1,0 +1,285 @@
+"""Compiled mode refuses / decompiles exactly when it must.
+
+Every non-compilable situation has a *typed* refusal reason, queryable
+from :meth:`Kernel.kernel_stats`, and always degrades to the activity
+kernel — never to wrong answers.  These tests pin each refusal kind to
+the situation that produces it, and verify the engine re-engages once
+the obstruction clears.
+"""
+
+from __future__ import annotations
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.core import DaeliteNetwork
+from repro.core.online import OnlineConnectionManager
+from repro.faults import FaultInjector, FaultPlan, TransientBitFlip
+from repro.params import daelite_parameters
+from repro.sim.kernel import (
+    COMPILED_MODE,
+    Component,
+    CompileRefusal,
+    Kernel,
+)
+from repro.sim.trace import Tracer
+from repro.topology import build_mesh
+from repro.traffic.generators import CbrGenerator, RandomGenerator
+from repro.traffic.sinks import CheckingSink
+
+
+def connected_compiled_net(topology=None, tracer=None):
+    """A compiled-mode 2x2 network with one live, loaded connection."""
+    params = daelite_parameters(slot_table_size=8)
+    mesh = topology or build_mesh(2, 2)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "flow", "NI00", "NI11", forward_slots=2, reverse_slots=1
+        )
+    )
+    net = DaeliteNetwork(
+        mesh, params, kernel_mode=COMPILED_MODE, tracer=tracer
+    )
+    handle = net.configure(connection)
+    net.run_until_configured(handle)
+    gen = CbrGenerator(
+        "gen",
+        inject=net.ni("NI00").injector(handle.forward.src_channel, "flow"),
+        period=5,
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni("NI11").receiver(handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen)
+    net.kernel.add(sink)
+    return net, handle, sink
+
+
+def fallbacks(net):
+    return net.kernel.kernel_stats()["compile_fallbacks"]
+
+
+def test_armed_fault_injector_forces_fallback_and_reengages():
+    net, _, sink = connected_compiled_net()
+    net.run(200)
+    before = net.kernel.kernel_stats()
+    assert before["compiled_cycles"] > 0
+    assert before["compile_fallbacks"] == {}
+
+    edge = next(
+        key
+        for key in net.links
+        if key[0].startswith("R") and key[1].startswith("R")
+    )
+    plan = FaultPlan(
+        seed=0,
+        specs=(
+            TransientBitFlip(
+                edge=edge, cycle=net.kernel.cycle + 50, bit=3
+            ),
+        ),
+    )
+    injector = FaultInjector(net, plan)
+    injector.arm()
+    net.run(200)
+    armed = net.kernel.kernel_stats()
+    assert armed["compile_fallbacks"][CompileRefusal.FAULT_HOOKS_ARMED] > 0
+    assert armed["last_refusal"] == CompileRefusal.FAULT_HOOKS_ARMED
+    assert "fault hook" in armed["last_refusal_detail"]
+    # No compiled execution happened while hooks were armed.
+    assert armed["compiled_cycles"] == before["compiled_cycles"]
+
+    injector.disarm()
+    net.run(200)
+    disarmed = net.kernel.kernel_stats()
+    assert disarmed["compiled_cycles"] > armed["compiled_cycles"]
+    # The flip struck while stepped: end-to-end checks saw it; nothing
+    # was lost silently.
+    assert net.stats.delivered_words("flow") > 0
+
+
+def test_config_traffic_forces_fallback_then_recompiles():
+    net, _, _ = connected_compiled_net(topology=build_mesh(2, 2))
+    net.run(200)
+    base = net.kernel.kernel_stats()["compiled_cycles"]
+
+    manager = OnlineConnectionManager(net)
+    # Non-blocking set-up: step while configuration words are in flight
+    # on the tree — the engine must refuse with CONFIG_ACTIVE.
+    allocation = manager.allocator.allocate_connection(
+        ConnectionRequest(
+            "late", "NI10", "NI01", forward_slots=1, reverse_slots=1
+        )
+    )
+    handle = net.host.setup_connection(allocation)
+    net.run(5)
+    stats = net.kernel.kernel_stats()
+    assert stats["compile_fallbacks"][CompileRefusal.CONFIG_ACTIVE] > 0
+    assert stats["last_refusal"] == CompileRefusal.CONFIG_ACTIVE
+
+    net.run_until_configured(handle)
+    net.run(200)
+    after = net.kernel.kernel_stats()
+    # Quiet tree again: the engine recompiled against the *new* schedule
+    # (the validity token covers the reprogrammed slot tables).
+    assert after["compiled_cycles"] > base
+    net.ni("NI10").submit_words(
+        handle.forward.src_channel, [1, 2, 3], "late"
+    )
+    net.run(100)
+    net.ni("NI01").receive(handle.forward.dst_channel)
+    assert net.stats.delivered_words("late") == 3
+
+
+def test_usecase_switch_falls_back_then_recompiles():
+    from repro.alloc.usecase import UseCase, UseCaseManager
+
+    params = daelite_parameters(slot_table_size=8)
+    mesh = build_mesh(2, 2)
+    manager = UseCaseManager(topology=mesh, params=params)
+    manager.add_usecase(
+        UseCase(
+            "boot",
+            (
+                ConnectionRequest(
+                    "a", "NI00", "NI11", forward_slots=2, reverse_slots=1
+                ),
+            ),
+        )
+    )
+    manager.add_usecase(
+        UseCase(
+            "run",
+            (
+                ConnectionRequest(
+                    "b", "NI10", "NI01", forward_slots=2, reverse_slots=1
+                ),
+            ),
+        )
+    )
+    switch = manager.plan_switch("boot", "run")
+    assert switch.torn_down == ("a",) and switch.set_up == ("b",)
+
+    net = DaeliteNetwork(mesh, params, kernel_mode=COMPILED_MODE)
+    handle_a = net.configure(manager.allocation("boot", "a"))
+    net.run_until_configured(handle_a)
+    gen = CbrGenerator(
+        "gen",
+        inject=net.ni("NI00").injector(handle_a.forward.src_channel, "a"),
+        period=5,
+        total_words=20,
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni("NI11").receiver(handle_a.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen)
+    net.kernel.add(sink)
+    net.run(400)
+    boot_stats = net.kernel.kernel_stats()
+    assert boot_stats["compiled_cycles"] > 0
+    assert net.stats.delivered_words("a") == 20
+
+    # Execute the switch: tear down "a", set up "b", stepping while the
+    # tree is busy — CONFIG_ACTIVE fallback, then a clean recompile.
+    allocation_a = manager.allocation("boot", "a")
+    teardown = net.host.teardown_connection(handle_a, allocation_a)
+    net.run(5)
+    assert (
+        fallbacks(net).get(CompileRefusal.CONFIG_ACTIVE, 0) > 0
+        or net.kernel.kernel_stats()["last_refusal"]
+        == CompileRefusal.CONFIG_ACTIVE
+    )
+    net.run_until_configured(teardown)
+    handle_b = net.configure(manager.allocation("run", "b"))
+    net.run_until_configured(handle_b)
+
+    net.ni("NI10").submit_words(
+        handle_b.forward.src_channel, [7, 8, 9], "b"
+    )
+    net.run(300)
+    net.ni("NI01").receive(handle_b.forward.dst_channel)
+    net.run(50)
+    after = net.kernel.kernel_stats()
+    assert after["compiled_cycles"] > boot_stats["compiled_cycles"]
+    assert net.stats.delivered_words("b") == 3
+    assert sink.clean
+
+
+def test_strict_registers_refusal():
+    net, _, _ = connected_compiled_net()
+    net.kernel.strict_registers = True
+    net.run(50)
+    stats = net.kernel.kernel_stats()
+    assert stats["compile_fallbacks"][CompileRefusal.STRICT_REGISTERS] > 0
+    assert stats["compiled_cycles"] == 0
+
+
+def test_tracer_refusal():
+    net, _, _ = connected_compiled_net(tracer=Tracer())
+    net.run(50)
+    stats = net.kernel.kernel_stats()
+    assert stats["compile_fallbacks"][CompileRefusal.TRACER_ACTIVE] > 0
+    assert stats["compiled_cycles"] == 0
+
+
+def test_unsupported_component_refusal():
+    net, handle, _ = connected_compiled_net()
+    net.run(100)
+    assert net.kernel.kernel_stats()["compiled_cycles"] > 0
+    rng = RandomGenerator(
+        "rng",
+        inject=net.ni("NI00").injector(handle.forward.src_channel, "flow"),
+        rate=0.01,
+        seed=7,
+        total_words=1,
+    )
+    net.kernel.add(rng)
+    net.run(50)
+    stats = net.kernel.kernel_stats()
+    assert (
+        stats["compile_fallbacks"][CompileRefusal.UNSUPPORTED_COMPONENT]
+        > 0
+    )
+    assert "rng" in stats["last_refusal_detail"]
+
+
+def test_opaque_inject_callable_refusal():
+    """A generator wired with a bare lambda (not an NI-bound injector)
+    cannot be mapped onto the flat schedule."""
+    net, handle, _ = connected_compiled_net()
+    ni = net.ni("NI00")
+    channel = handle.forward.src_channel
+    gen = CbrGenerator(
+        "opaque",
+        inject=lambda payload: ni.submit(channel, payload, "flow"),
+        period=50,
+    )
+    net.kernel.add(gen)
+    net.run(50)
+    stats = net.kernel.kernel_stats()
+    assert (
+        stats["compile_fallbacks"][CompileRefusal.UNSUPPORTED_COMPONENT]
+        > 0
+    )
+
+
+def test_no_provider_refusal():
+    class Idle(Component):
+        def evaluate(self, cycle):
+            pass
+
+        def next_evaluation(self, cycle):
+            return None
+
+    kernel = Kernel(mode=COMPILED_MODE)
+    kernel.add(Idle("idle"))
+    kernel.step(25)
+    stats = kernel.kernel_stats()
+    assert kernel.cycle == 25
+    assert stats["compile_fallbacks"][CompileRefusal.NO_PROVIDER] > 0
+    assert stats["last_refusal"] == CompileRefusal.NO_PROVIDER
