@@ -1,0 +1,269 @@
+"""Admission-oracle bench: closed-form admit() vs simulate-to-decide.
+
+The point of the analytical model (``repro.analysis.model``) is that
+run-time admission control must not spin up a simulation.  This bench
+answers the same question — "can this connection be admitted, and will
+it meet its deadline?" — both ways on the same platform:
+
+* **oracle**: ``AdmissionOracle.admit(request)``, a pure ledger probe
+  plus closed-form latency/bandwidth arithmetic,
+* **simulate**: allocate, build a network, configure the connection,
+  stream traffic, and check the measured worst latency.
+
+Both must reach the identical verdict; the oracle must be at least
+``SPEEDUP_FLOOR`` times faster per decision.  A bound-tightness sweep
+(hop distances 1..6) records the analytical worst case next to the
+measured worst case.  Results land in ``BENCH_analysis.json``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _helpers import write_bench_json
+
+from repro.alloc import ConnectionRequest, SlotAllocator
+from repro.analysis import AdmissionOracle
+from repro.core import DaeliteNetwork
+from repro.errors import AllocationError
+from repro.params import daelite_parameters
+from repro.topology import build_mesh, ni_name
+from repro.traffic import random_traffic_pattern
+
+MESH_SIDE = 4
+SLOT_TABLE_SIZE = 16
+#: Connections pre-loaded onto the fabric before any admission probe.
+BACKGROUND_PAIRS = 8
+#: Admission decisions timed per round on the oracle side.
+ORACLE_DECISIONS = 200
+#: Admission decisions answered by full simulation (kept small — this
+#: is the slow side, and per-decision cost is what matters).
+SIM_DECISIONS = 4
+ORACLE_ROUNDS = 5
+#: Words streamed per simulate-to-decide run; enough to see the
+#: steady-state worst case.
+SIM_WORDS = 40
+#: Required oracle-over-simulation speedup per admission decision.
+SPEEDUP_FLOOR = 1_000.0
+
+
+def _loaded_allocator():
+    """The shared platform state: a 4x4 mesh with background load."""
+    topology = build_mesh(MESH_SIDE, MESH_SIDE)
+    params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+    allocator = SlotAllocator(topology=topology, params=params)
+    nis = [element.name for element in topology.nis]
+    for request in random_traffic_pattern(
+        nis, BACKGROUND_PAIRS, seed=5
+    ):
+        try:
+            allocator.allocate_connection(request)
+        except AllocationError:
+            continue
+    return topology, params, allocator
+
+
+def _probe_requests(count):
+    corner_pairs = [
+        (ni_name(0, 0), ni_name(MESH_SIDE - 1, MESH_SIDE - 1)),
+        (ni_name(0, MESH_SIDE - 1), ni_name(MESH_SIDE - 1, 0)),
+        (ni_name(1, 1), ni_name(2, 3)),
+        (ni_name(3, 0), ni_name(0, 2)),
+    ]
+    return [
+        ConnectionRequest(
+            f"probe{index}",
+            *corner_pairs[index % len(corner_pairs)],
+            forward_slots=1 + index % 3,
+            reverse_slots=1,
+        )
+        for index in range(count)
+    ]
+
+
+def _decide_by_oracle(oracle, request, deadline):
+    verdict = oracle.admit(request, deadline_cycles=deadline)
+    return verdict.admitted
+
+
+def _decide_by_simulation(topology, params, request, deadline):
+    """Answer the same admission question the brute-force way."""
+    allocator = SlotAllocator(topology=topology, params=params)
+    try:
+        connection = allocator.allocate_connection(request)
+    except AllocationError:
+        return False
+    network = DaeliteNetwork(
+        topology, params, host_ni=request.src_ni
+    )
+    handle = network.configure(connection)
+    network.ni(request.src_ni).submit_words(
+        handle.forward.src_channel,
+        list(range(SIM_WORDS)),
+        request.label,
+    )
+    delivered = 0
+    for _ in range(20_000):
+        network.run(1)
+        delivered += len(
+            network.ni(request.dst_ni).receive(
+                handle.forward.dst_channel
+            )
+        )
+        if delivered >= SIM_WORDS:
+            break
+    stats = network.stats.connections[request.label]
+    if delivered < SIM_WORDS or stats.max_latency is None:
+        return False
+    # The simulator measures link-to-queue latency; add the model's
+    # injection-side worst case for a submit-to-delivery answer.
+    worst = (
+        stats.max_latency
+        + AdmissionOracle(allocator)
+        .connection_model(connection)
+        .forward.max_scheduling_wait_cycles
+        + params.words_per_slot
+    )
+    return worst <= deadline
+
+
+def measure_admission():
+    topology, params, allocator = _loaded_allocator()
+    oracle = AdmissionOracle(allocator)
+    requests = _probe_requests(ORACLE_DECISIONS)
+    deadline = 200  # generous: every allocatable probe meets it
+
+    oracle_walls = []
+    for _ in range(ORACLE_ROUNDS):
+        started = time.perf_counter()
+        verdicts = [
+            _decide_by_oracle(oracle, request, deadline)
+            for request in requests
+        ]
+        oracle_walls.append(
+            (time.perf_counter() - started) / len(requests)
+        )
+    oracle_per_decision = min(oracle_walls)
+
+    sim_requests = requests[:SIM_DECISIONS]
+    started = time.perf_counter()
+    sim_verdicts = [
+        _decide_by_simulation(topology, params, request, deadline)
+        for request in sim_requests
+    ]
+    sim_per_decision = (
+        time.perf_counter() - started
+    ) / len(sim_requests)
+
+    # Same platform, same requests, same deadline: the closed form and
+    # the simulation must agree decision-for-decision.  (The sim side
+    # uses an *empty* allocator per decision; compare against a fresh
+    # oracle on the same empty state.)
+    clean_oracle = AdmissionOracle(
+        SlotAllocator(topology=topology, params=params)
+    )
+    for request, by_sim in zip(sim_requests, sim_verdicts):
+        assert (
+            _decide_by_oracle(clean_oracle, request, deadline)
+            == by_sim
+        ), request.label
+
+    return {
+        "oracle_s_per_decision": oracle_per_decision,
+        "oracle_decisions_per_s": 1.0 / oracle_per_decision,
+        "oracle_s_per_decision_median": statistics.median(
+            oracle_walls
+        ),
+        "simulate_s_per_decision": sim_per_decision,
+        "speedup": sim_per_decision / oracle_per_decision,
+        "admitted_of_probed": sum(
+            _decide_by_oracle(oracle, request, deadline)
+            for request in requests
+        ),
+        "probed": len(requests),
+    }
+
+
+def measure_tightness():
+    """Bound-tightness sweep: analytical vs measured worst case."""
+    length = 7
+    topology = build_mesh(length, 1)
+    params = daelite_parameters(slot_table_size=SLOT_TABLE_SIZE)
+    rows = []
+    for distance in range(1, length):
+        allocator = SlotAllocator(topology=topology, params=params)
+        request = ConnectionRequest(
+            "t", ni_name(0, 0), ni_name(distance, 0), forward_slots=2
+        )
+        connection = allocator.allocate_connection(request)
+        model = AdmissionOracle(allocator).connection_model(connection)
+        network = DaeliteNetwork(topology, params, host_ni=ni_name(0, 0))
+        handle = network.configure(connection)
+        network.ni(ni_name(0, 0)).submit_words(
+            handle.forward.src_channel, list(range(SIM_WORDS)), "t"
+        )
+        delivered = 0
+        for _ in range(20_000):
+            network.run(1)
+            delivered += len(
+                network.ni(ni_name(distance, 0)).receive(
+                    handle.forward.dst_channel
+                )
+            )
+            if delivered >= SIM_WORDS:
+                break
+        stats = network.stats.connections["t"]
+        assert delivered == SIM_WORDS
+        # The in-network term is exact — the measured latency of every
+        # word equals it bit for bit.
+        assert set(stats.latencies) == {
+            model.forward.in_network_latency_cycles
+        }
+        rows.append(
+            {
+                "hops": connection.forward.hops,
+                "measured_latency_cycles": stats.max_latency,
+                "in_network_latency_cycles": (
+                    model.forward.in_network_latency_cycles
+                ),
+                "worst_case_bound_cycles": (
+                    model.worst_case_latency_cycles
+                ),
+                "bound_over_measured": (
+                    model.worst_case_latency_cycles
+                    / stats.max_latency
+                ),
+            }
+        )
+    return rows
+
+
+def test_oracle_beats_simulation_by_1000x(benchmark):
+    admission = benchmark.pedantic(
+        measure_admission, rounds=1, iterations=1
+    )
+    tightness = measure_tightness()
+    path = write_bench_json(
+        "analysis",
+        {
+            "admission": admission,
+            "tightness_sweep": tightness,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+    print(
+        f"\noracle: {admission['oracle_s_per_decision'] * 1e6:.1f} "
+        f"us/decision, simulate: "
+        f"{admission['simulate_s_per_decision'] * 1e3:.1f} ms/decision "
+        f"-> {admission['speedup']:.0f}x  ({path.name})"
+    )
+    assert admission["speedup"] >= SPEEDUP_FLOOR, (
+        f"oracle only {admission['speedup']:.0f}x faster than "
+        f"simulate-to-decide (floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+    for row in tightness:
+        assert (
+            row["worst_case_bound_cycles"]
+            >= row["measured_latency_cycles"]
+        )

@@ -364,6 +364,11 @@ class LinkSlotLedger:
         """Fraction of slots claimed on one directed link."""
         return len(self._claims.get(edge, {})) / self.slot_table_size
 
+    def free_slot_count(self, edge: Tuple[str, str]) -> int:
+        """Unclaimed slots remaining on one directed link — the
+        residual-capacity input of the admission oracle."""
+        return self.slot_table_size - len(self._claims.get(edge, {}))
+
     def total_claims(self) -> int:
         return sum(len(slots) for slots in self._claims.values())
 
@@ -697,6 +702,11 @@ class BitmaskLinkSlotLedger(LinkSlotLedger):
     def link_utilization(self, edge: Tuple[str, str]) -> float:
         return self.occupancy_mask(edge).bit_count() / self.slot_table_size
 
+    def free_slot_count(self, edge: Tuple[str, str]) -> int:
+        return self.slot_table_size - (
+            self.occupancy_mask(edge).bit_count()
+        )
+
     def total_claims(self) -> int:
         return sum(
             entry[0].bit_count() for entry in self._links.values()
@@ -808,6 +818,42 @@ class SlotAllocator:
 
     def _route(self, src_ni: str, dst_ni: str) -> Tuple[str, ...]:
         return cached_route(self.topology, self.routing, src_ni, dst_ni)
+
+    def route(self, src_ni: str, dst_ni: str) -> Tuple[str, ...]:
+        """The path this allocator's routing policy would choose —
+        public so the admission oracle can evaluate a request on the
+        exact route an allocation would take, without claiming."""
+        return self._route(src_ni, dst_ni)
+
+    def plan_slots(
+        self,
+        path: Sequence[str],
+        count: int,
+        link_delays: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """The base slots :meth:`allocate_channel` would pick on
+        ``path`` right now, *without claiming anything*.
+
+        This is the slot-phase probe of the analytical admission
+        oracle (:mod:`repro.analysis.model`): because it shares the
+        admissibility mask and the picking policy with the real
+        allocation, a verdict computed from the plan is exact — an
+        immediately following ``allocate_channel`` on the same path
+        returns precisely these slots.
+
+        Raises:
+            AllocationError: if fewer than ``count`` base slots are
+                admissible along ``path``.
+        """
+        mask = self.ledger.admissible_base_mask(
+            self._claim_diagonal(path, link_delays)
+        )
+        if mask.bit_count() < count:
+            raise AllocationError(
+                f"path {tuple(path)}: needs {count} slots, only "
+                f"{mask.bit_count()} admissible"
+            )
+        return self._pick_from_mask(mask, count)
 
     def _claim_diagonal(
         self,

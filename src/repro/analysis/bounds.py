@@ -10,7 +10,7 @@ bounds and every delivered bandwidth against the slot arithmetic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, List
 
 from ..alloc.spec import AllocatedChannel
 from ..errors import ParameterError
@@ -57,6 +57,35 @@ def traversal_latency_cycles(hops: int, params: NetworkParameters) -> int:
     return params.hop_cycles * hops + 1
 
 
+def extra_link_delay_cycles(
+    channel: AllocatedChannel, params: NetworkParameters
+) -> int:
+    """Cycles added by pipelined/mesochronous link stages: each extra
+    slot of link delay holds a word for one full slot."""
+    if not channel.link_delays:
+        return 0
+    return params.words_per_slot * sum(channel.link_delays)
+
+
+def in_network_latency_cycles(
+    channel: AllocatedChannel, params: NetworkParameters
+) -> int:
+    """Exact link-to-queue latency of *every* word of the channel.
+
+    In a contention-free TDM schedule a word that has been driven onto
+    the source NI-router link proceeds deterministically: ``hop_cycles``
+    per router, one cycle for the destination NI input stage, plus one
+    slot per extra pipeline stage of the pipelined-link extension.
+    This is precisely the quantity the statistics collector measures
+    (injection is recorded at link drive, ejection at queue deposit),
+    so for a fault-free channel the model predicts the simulator
+    *bit-for-bit*: ``min_latency == max_latency ==`` this value.
+    """
+    return traversal_latency_cycles(channel.hops, params) + (
+        extra_link_delay_cycles(channel, params)
+    )
+
+
 def injection_pipeline_cycles(params: NetworkParameters) -> int:
     """NI output pipeline depth (decision to link)."""
     return params.words_per_slot
@@ -67,15 +96,31 @@ def worst_case_latency_cycles(
 ) -> int:
     """Upper bound on submit-to-delivery latency of one word.
 
-    Scheduling wait + NI output pipeline + network traversal.  Assumes
-    credits are available (the destination drains its queue); a starved
+    Scheduling wait + NI output pipeline + in-network latency (which
+    includes any extra pipelined-link slots).  Assumes credits are
+    available (the destination drains its queue); a starved
     flow-controlled channel waits additionally for the consumer.
     """
     return (
         max_scheduling_wait_cycles(channel.slots, params)
         + injection_pipeline_cycles(params)
-        + traversal_latency_cycles(channel.hops, params)
+        + in_network_latency_cycles(channel, params)
     )
+
+
+def scheduling_jitter_cycles(
+    slots: FrozenSet[int], params: NetworkParameters
+) -> int:
+    """Worst-case submit-to-delivery jitter of a channel.
+
+    The in-network part of the latency is a constant, so all variation
+    comes from the injection side: a word submitted right at its slot
+    waits ~0 cycles, a word that just missed waits the largest gap.
+    The delivered stream therefore jitters by at most the maximum
+    scheduling wait; the *arrival* spacing of a saturated channel
+    additionally never exceeds the largest inter-slot gap.
+    """
+    return max_scheduling_wait_cycles(slots, params)
 
 
 def guaranteed_bandwidth_words_per_cycle(

@@ -24,11 +24,12 @@ up to whole slots, plus one slot of burst slack.
 from __future__ import annotations
 
 import math
+from typing import Optional
 
 from ..alloc.spec import AllocatedConnection
 from ..errors import ParameterError
 from ..params import NetworkParameters
-from .bounds import max_scheduling_wait_cycles, traversal_latency_cycles
+from .bounds import in_network_latency_cycles, max_scheduling_wait_cycles
 
 
 def credit_loop_cycles(
@@ -42,20 +43,26 @@ def credit_loop_cycles(
     out = (
         max_scheduling_wait_cycles(forward.slots, params)
         + pipeline
-        + traversal_latency_cycles(forward.hops, params)
+        + in_network_latency_cycles(forward, params)
     )
     back = (
         max_scheduling_wait_cycles(reverse.slots, params)
         + pipeline
-        + traversal_latency_cycles(reverse.hops, params)
+        + in_network_latency_cycles(reverse, params)
     )
     return out + back
 
 
 def required_buffer_words(
-    connection: AllocatedConnection, params: NetworkParameters
+    connection: AllocatedConnection,
+    params: NetworkParameters,
+    loop_cycles: Optional[int] = None,
 ) -> int:
     """Smallest destination buffer that sustains the guaranteed rate.
+
+    ``loop_cycles`` accepts a precomputed credit-loop round trip (the
+    admission oracle derives it from its channel models); by default it
+    is computed here.
 
     Raises:
         ParameterError: if the bound exceeds what the credit counter
@@ -63,7 +70,11 @@ def required_buffer_words(
             more reverse slots.
     """
     rate = len(connection.forward.slots) / params.slot_table_size
-    loop = credit_loop_cycles(connection, params)
+    loop = (
+        credit_loop_cycles(connection, params)
+        if loop_cycles is None
+        else loop_cycles
+    )
     bound = math.ceil(rate * loop) + params.words_per_slot
     if bound > params.max_credit_value:
         raise ParameterError(
@@ -79,11 +90,31 @@ def max_sustainable_rate(
     connection: AllocatedConnection,
     params: NetworkParameters,
     buffer_words: int,
+    loop_cycles: Optional[int] = None,
 ) -> float:
     """Throughput (words/cycle) a given buffer supports: the smaller of
     the slot allocation and buffer/round-trip."""
     if buffer_words < 1:
         raise ParameterError("buffer must hold at least one word")
     allocated = len(connection.forward.slots) / params.slot_table_size
-    loop = credit_loop_cycles(connection, params)
+    loop = (
+        credit_loop_cycles(connection, params)
+        if loop_cycles is None
+        else loop_cycles
+    )
     return min(allocated, buffer_words / loop)
+
+
+def is_credit_limited(
+    connection: AllocatedConnection,
+    params: NetworkParameters,
+    buffer_words: int,
+    loop_cycles: Optional[int] = None,
+) -> bool:
+    """Whether ``buffer_words`` caps the connection below its slot
+    allocation (the buffer does not cover the credit-loop
+    bandwidth-delay product)."""
+    allocated = len(connection.forward.slots) / params.slot_table_size
+    return max_sustainable_rate(
+        connection, params, buffer_words, loop_cycles=loop_cycles
+    ) < allocated

@@ -1,0 +1,241 @@
+"""Unit tests for the closed-form admission oracle (repro.analysis.model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alloc import (
+    ChannelRequest,
+    ConnectionRequest,
+    MulticastRequest,
+    SlotAllocator,
+)
+from repro.analysis import (
+    AdmissionOracle,
+    admit,
+    fabric_of,
+    fleet_models,
+    in_network_latency_cycles,
+    scheduling_jitter_cycles,
+    worst_case_latency_cycles,
+)
+from repro.errors import ParameterError
+from repro.params import aelite_parameters, daelite_parameters
+from repro.topology import build_mesh
+
+
+@pytest.fixture
+def setup():
+    mesh = build_mesh(3, 3)
+    params = daelite_parameters(slot_table_size=8)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    return mesh, params, allocator
+
+
+class TestFabricInference:
+    def test_daelite(self):
+        assert fabric_of(daelite_parameters()) == "daelite"
+
+    def test_aelite(self):
+        assert fabric_of(aelite_parameters()) == "aelite"
+
+    def test_unknown_fabric_rejected(self, setup):
+        _, _, allocator = setup
+        with pytest.raises(ParameterError):
+            AdmissionOracle(allocator, fabric="wormhole")
+
+
+class TestChannelModel:
+    def test_matches_bounds_functions(self, setup):
+        _, params, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        channel = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=2)
+        ).forward
+        model = oracle.channel_model(channel)
+        assert model.in_network_latency_cycles == (
+            in_network_latency_cycles(channel, params)
+        )
+        assert model.worst_case_latency_cycles == (
+            worst_case_latency_cycles(channel, params)
+        )
+        assert model.jitter_bound_cycles == (
+            scheduling_jitter_cycles(channel.slots, params)
+        )
+        assert model.best_case_latency_cycles == (
+            model.pipeline_cycles + model.in_network_latency_cycles
+        )
+        assert model.worst_case_latency_cycles == (
+            model.best_case_latency_cycles + model.jitter_bound_cycles
+        )
+
+    def test_wheel_size_mismatch_rejected(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        other = SlotAllocator(
+            topology=build_mesh(3, 3),
+            params=daelite_parameters(slot_table_size=16),
+        )
+        channel = other.allocate_channel(
+            ChannelRequest("x", "NI00", "NI11")
+        )
+        with pytest.raises(ParameterError):
+            oracle.channel_model(channel)
+
+
+class TestAdmissionVerdicts:
+    def test_plan_matches_subsequent_allocation(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        request = ConnectionRequest(
+            "c", "NI00", "NI22", forward_slots=2
+        )
+        verdict = oracle.admit(request)
+        assert verdict.admitted and verdict.reason == "ok"
+        connection = allocator.allocate_connection(request)
+        assert verdict.planned_slots == tuple(
+            sorted(connection.forward.slots)
+        )
+        assert verdict.path == connection.forward.path
+        model = oracle.connection_model(connection)
+        assert verdict.worst_case_latency_cycles == (
+            model.worst_case_latency_cycles
+        )
+
+    def test_probe_does_not_claim(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        before = allocator.ledger.total_claims()
+        for _ in range(3):
+            oracle.admit(
+                ConnectionRequest("c", "NI00", "NI22", forward_slots=3)
+            )
+            oracle.admit(
+                MulticastRequest("m", "NI00", ("NI11", "NI21"), slots=2)
+            )
+        assert allocator.ledger.total_claims() == before
+
+    def test_deadline_rejection(self, setup):
+        _, _, allocator = setup
+        verdict = admit(
+            allocator,
+            ConnectionRequest("c", "NI00", "NI22"),
+            deadline_cycles=1,
+        )
+        assert not verdict.admitted
+        assert "deadline" in verdict.reason
+        # The bound itself is still reported for capacity planning.
+        assert verdict.worst_case_latency_cycles is not None
+
+    def test_bandwidth_rejection(self, setup):
+        _, _, allocator = setup
+        verdict = admit(
+            allocator,
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=1),
+            min_bandwidth_words_per_cycle=0.9,
+        )
+        assert not verdict.admitted
+        assert "bandwidth" in verdict.reason
+
+    def test_saturated_path_rejected(self, setup):
+        _, params, allocator = setup
+        # Claim every slot of the NI00 uplink.
+        for index in range(params.slot_table_size):
+            allocator.allocate_channel(
+                ChannelRequest(f"fill{index}", "NI00", "NI10")
+            )
+        verdict = admit(
+            allocator, ConnectionRequest("c", "NI00", "NI22")
+        )
+        assert not verdict.admitted
+        assert verdict.reason
+
+    def test_channel_request_dispatch(self, setup):
+        _, _, allocator = setup
+        verdict = admit(
+            allocator, ChannelRequest("ch", "NI01", "NI21", slots=2)
+        )
+        assert verdict.admitted
+        assert len(verdict.planned_slots) == 2
+
+    def test_unknown_request_type_rejected(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        with pytest.raises(ParameterError):
+            oracle.admit(object())  # type: ignore[arg-type]
+
+
+class TestMulticastModel:
+    def test_branches_and_drain_rate(self, setup):
+        _, params, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI00", ("NI11", "NI22"), slots=2)
+        )
+        model = oracle.multicast_model(tree)
+        assert len(model.branches) == 2
+        assert model.required_drain_rate_words_per_cycle == (
+            2 / params.slot_table_size
+        )
+        assert model.worst_case_latency_cycles == max(
+            branch.worst_case_latency_cycles
+            for branch in model.branches
+        )
+        deep = model.branch("NI22")
+        assert deep.hops >= model.branch("NI11").hops
+        with pytest.raises(ParameterError):
+            model.branch("NI10")
+
+
+class TestFleetCapacity:
+    def test_empty_fabric_fully_free(self, setup):
+        mesh, params, allocator = setup
+        capacity = AdmissionOracle(allocator).fleet_capacity()
+        # topology.links() lists both directions of every link pair.
+        directed_links = len(mesh.links())
+        assert capacity.total_slots == (
+            directed_links * params.slot_table_size
+        )
+        assert capacity.total_free_slots == capacity.total_slots
+        assert capacity.utilization == 0.0
+        assert capacity.saturated_links == ()
+
+    def test_claims_reduce_residual(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        before = oracle.fleet_capacity()
+        connection = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI22", forward_slots=2)
+        )
+        after = oracle.fleet_capacity()
+        claimed = len(connection.forward.link_claims()) + len(
+            connection.reverse.link_claims()
+        )
+        assert before.total_free_slots - after.total_free_slots == claimed
+        assert after.utilization > 0.0
+
+    def test_admissible_connection_count_restores_ledger(self, setup):
+        _, params, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        request = ConnectionRequest(
+            "probe", "NI00", "NI10", forward_slots=2
+        )
+        count = oracle.admissible_connection_count(request)
+        # The NI00 uplink has T slots; each copy takes 2 forward + 1
+        # reverse claims on the bottleneck NI links.
+        assert count == params.slot_table_size // 2
+        assert allocator.ledger.total_claims() == 0
+        # The probe left the schedule untouched: allocation still works.
+        allocator.allocate_connection(request)
+
+    def test_fleet_models_collects_everything(self, setup):
+        _, _, allocator = setup
+        oracle = AdmissionOracle(allocator)
+        connection = allocator.allocate_connection(
+            ConnectionRequest("c", "NI00", "NI22")
+        )
+        tree = allocator.allocate_multicast(
+            MulticastRequest("m", "NI11", ("NI01", "NI21"))
+        )
+        models = fleet_models(oracle, [connection], [tree])
+        assert set(models) == {"c", "m"}

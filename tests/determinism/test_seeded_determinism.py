@@ -1,0 +1,134 @@
+"""Seeded-determinism contracts: same inputs, byte-identical outputs.
+
+Two subsystems advertise reproducibility guarantees that CI and the
+chaos campaigns lean on:
+
+* :func:`repro.faults.random_fault_plan` — "a (seed, network shape)
+  pair always yields the identical plan".  Checked here across fresh
+  network instances, kernel modes, and interleaved construction order,
+  down to the byte level of ``FaultPlan.describe()``.
+* :func:`repro.alloc.dimension.dimension_platform` — the parallel
+  candidate search promises "the answer is identical to the serial
+  search".  Checked here for worker counts 1, 2, and 4 on a spec whose
+  search space is large enough that the pool actually fans out.
+"""
+
+from __future__ import annotations
+
+from repro.alloc import ConnectionRequest, UseCase
+from repro.alloc.dimension import PlatformSpec, dimension_platform
+from repro.core import DaeliteNetwork
+from repro.faults import random_fault_plan
+from repro.params import daelite_parameters
+from repro.sim.kernel import ACTIVITY_MODE, COMPILED_MODE, NAIVE_MODE
+from repro.topology import build_mesh
+
+PLAN_KWARGS = dict(
+    horizon=400,
+    bit_flips=4,
+    stuck_ats=2,
+    link_downs=1,
+    table_upsets=3,
+    config_drops=2,
+    config_corrupts=2,
+)
+
+
+def _network(kernel_mode=ACTIVITY_MODE):
+    return DaeliteNetwork(
+        build_mesh(3, 3),
+        daelite_parameters(slot_table_size=8),
+        kernel_mode=kernel_mode,
+    )
+
+
+class TestFaultPlanDeterminism:
+    def test_byte_identical_across_fresh_networks(self):
+        """Two independently-built networks of the same shape yield the
+        same plan, byte for byte."""
+        first = random_fault_plan(11, _network(), **PLAN_KWARGS)
+        second = random_fault_plan(11, _network(), **PLAN_KWARGS)
+        assert first.describe() == second.describe()
+        assert first == second
+
+    def test_byte_identical_across_kernel_modes(self):
+        """The kernel execution strategy must not leak into target
+        enumeration: all three modes see the same network shape."""
+        baseline = random_fault_plan(
+            23, _network(ACTIVITY_MODE), **PLAN_KWARGS
+        ).describe()
+        for mode in (NAIVE_MODE, COMPILED_MODE):
+            assert (
+                random_fault_plan(
+                    23, _network(mode), **PLAN_KWARGS
+                ).describe()
+                == baseline
+            )
+
+    def test_independent_of_construction_interleaving(self):
+        """Drawing other seeds in between must not perturb a seed's
+        plan — each call owns its whole RNG stream."""
+        alone = random_fault_plan(7, _network(), **PLAN_KWARGS)
+        network = _network()
+        random_fault_plan(1, network, **PLAN_KWARGS)
+        interleaved = random_fault_plan(7, network, **PLAN_KWARGS)
+        random_fault_plan(2, network, **PLAN_KWARGS)
+        assert interleaved.describe() == alone.describe()
+
+    def test_seed_actually_matters(self):
+        plans = {
+            random_fault_plan(
+                seed, _network(), **PLAN_KWARGS
+            ).describe()
+            for seed in range(5)
+        }
+        assert len(plans) == 5
+
+
+class TestDimensioningDeterminism:
+    @staticmethod
+    def _spec():
+        # Heavy enough that small candidates fail and the search
+        # visits several (mesh, T) points before finding the winner.
+        ips = ("cpu", "gpu", "mem", "dsp", "io", "disp")
+        connections = tuple(
+            ConnectionRequest(
+                f"c{i}", src, dst, forward_slots=3, reverse_slots=1
+            )
+            for i, (src, dst) in enumerate(
+                [
+                    ("cpu", "mem"),
+                    ("gpu", "mem"),
+                    ("dsp", "mem"),
+                    ("io", "cpu"),
+                    ("disp", "mem"),
+                    ("cpu", "gpu"),
+                ]
+            )
+        )
+        return PlatformSpec(
+            ips=ips, usecases=(UseCase("main", connections),)
+        )
+
+    def test_identical_result_for_any_worker_count(self):
+        spec = self._spec()
+        results = [
+            dimension_platform(spec, max_workers=workers)
+            for workers in (None, 1, 2, 4)
+        ]
+        baseline = results[0]
+        for result in results[1:]:
+            assert (result.width, result.height) == (
+                baseline.width,
+                baseline.height,
+            )
+            assert result.slot_table_size == baseline.slot_table_size
+            assert result.placement == baseline.placement
+            assert result.area_ge == baseline.area_ge
+            assert result.params == baseline.params
+
+    def test_repeated_runs_are_stable(self):
+        spec = self._spec()
+        first = dimension_platform(spec, max_workers=2)
+        second = dimension_platform(spec, max_workers=2)
+        assert first == second

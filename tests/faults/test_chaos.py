@@ -17,6 +17,7 @@ overrunning the destination buffer (see DESIGN.md §9).
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.alloc import ConnectionRequest, MulticastRequest
@@ -26,6 +27,8 @@ from repro.params import daelite_parameters
 from repro.staticcheck import verify_network_state
 from repro.topology import build_mesh
 from repro.traffic import CheckingSink
+
+pytestmark = pytest.mark.chaos
 
 #: Fixed seeds for the deterministic CI smoke leg (kept small: each
 #: seed is a full build-inject-recover-verify cycle).

@@ -20,6 +20,8 @@ from repro.params import daelite_parameters
 from repro.topology import build_mesh
 from repro.traffic import CheckingSink
 
+pytestmark = pytest.mark.differential
+
 
 def run_campaign(mode: str, seed: int):
     topology = build_mesh(3, 3)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import random
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.alloc import (
@@ -27,6 +29,8 @@ from repro.alloc import (
 from repro.errors import AllocationError
 from repro.params import daelite_parameters
 from repro.topology import build_mesh
+
+pytestmark = pytest.mark.differential
 
 ENGINES = (REFERENCE_ENGINE, BITMASK_ENGINE)
 

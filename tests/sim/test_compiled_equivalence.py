@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
@@ -37,6 +38,8 @@ from repro.traffic.generators import (
     TraceGenerator,
 )
 from repro.traffic.sinks import CheckingSink, DrainSink, ThrottledSink
+
+pytestmark = pytest.mark.differential
 
 # -- scenario description ------------------------------------------------------
 

@@ -31,6 +31,8 @@ from repro.params import aelite_parameters, daelite_parameters
 from repro.sim.kernel import ACTIVITY_MODE, NAIVE_MODE
 from repro.topology import build_mesh, ni_name
 
+pytestmark = pytest.mark.differential
+
 # -- scenario description ------------------------------------------------------
 
 
