@@ -57,14 +57,22 @@ def _cpu_model() -> str:
     return platform.processor() or platform.machine() or "unknown"
 
 
-def write_bench_json(name: str, payload: dict) -> Path:
+def write_bench_json(
+    name: str, payload: dict, kernel_mode: Optional[object] = None
+) -> Path:
     """Write a benchmark result to ``BENCH_<name>.json`` in the repo
     root and return the path.
 
     The payload is augmented with full provenance — interpreter,
     platform, CPU model, git commit, UTC timestamp, and the kernel mode
-    in effect — so results from different machines, commits, or kernel
-    configurations are never compared blindly.
+    actually measured — so results from different machines, commits, or
+    kernel configurations are never compared blindly.
+
+    ``kernel_mode`` should name the mode(s) the numbers were taken
+    under: a string for a single-mode bench, or a list/dict for a bench
+    that timed several modes in one run.  When omitted, the
+    process-global default is recorded (correct only for benches that
+    never override the mode per network).
     """
     record = {
         "benchmark": name,
@@ -75,7 +83,9 @@ def write_bench_json(name: str, payload: dict) -> Path:
         "timestamp_utc": datetime.now(timezone.utc).isoformat(
             timespec="seconds"
         ),
-        "kernel_mode": resolved_kernel_mode(),
+        "kernel_mode": (
+            resolved_kernel_mode() if kernel_mode is None else kernel_mode
+        ),
         **payload,
     }
     path = BENCH_RESULT_DIR / f"BENCH_{name}.json"
@@ -119,6 +129,7 @@ def connected_daelite(
     host: Optional[str] = None,
     label: str = "bench",
     kernel_mode: Optional[str] = None,
+    **net_kwargs,
 ):
     """A daelite network with one live connection; returns
     (network, connection, handle)."""
@@ -133,7 +144,11 @@ def connected_daelite(
         )
     )
     network = DaeliteNetwork(
-        topology, params, host_ni=host or src, kernel_mode=kernel_mode
+        topology,
+        params,
+        host_ni=host or src,
+        kernel_mode=kernel_mode,
+        **net_kwargs,
     )
     handle = network.configure(connection)
     return network, connection, handle

@@ -141,6 +141,8 @@ def test_bitmask_engine_fleet_allocation_speedup(benchmark):
             "speedup_best": speedup_best,
             "speedup_median": speedup_median,
         },
+        # Allocation is pure search — no simulation kernel runs.
+        kernel_mode="not-applicable",
     )
     print(
         f"\nALLOC ENGINES — {CONNECTIONS} connections, "

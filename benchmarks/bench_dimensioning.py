@@ -83,6 +83,8 @@ def test_platform_cost_vs_demand(benchmark):
                 for streams, slots, mesh, wheel, area in rows
             ],
         },
+        # Dimensioning is closed-form arithmetic — no kernel runs.
+        kernel_mode="not-applicable",
     )
     areas = [row[4] for row in rows]
     assert areas == sorted(areas)  # more demand -> bigger platform

@@ -8,15 +8,22 @@ simulator throughput scale.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
 
-from _helpers import connected_daelite
+from _helpers import BENCH_RESULT_DIR, connected_daelite
 from repro.alloc import ConnectionRequest, SlotAllocator
 from repro.core import DaeliteNetwork
 from repro.params import daelite_parameters
-from repro.sim.kernel import ACTIVITY_MODE, COMPILED_MODE, NAIVE_MODE
+from repro.sim.kernel import (
+    ACTIVITY_MODE,
+    COMPILED_MODE,
+    NAIVE_MODE,
+    VECTOR_MODE,
+)
 from repro.topology import build_mesh, ni_name, router_name
 from repro.traffic.generators import CbrGenerator
 from repro.traffic.sinks import CheckingSink
@@ -249,3 +256,125 @@ def test_addressing_envelope_enforced(benchmark):
     error_name = benchmark(check)
     print(f"\n6x6 mesh rejected with: {error_name}")
     assert error_name == "TopologyError"
+
+
+# -- vector-kernel throughput vs fabric size -----------------------------------
+
+#: (mesh side, config_word_bits) — the word width must address
+#: side*side*2 elements (max_network_elements = 1 << (bits - 1)).
+VECTOR_CURVE_SIZES = [(8, 9), (16, 11), (32, 13)]
+
+#: Opt-in stretch point: a 64x64 fabric (8192 elements) takes minutes
+#: to configure on small runners, so it only joins the curve when
+#: explicitly requested.
+HUGE_FABRIC_ENV = "REPRO_BENCH_64X64"
+
+
+def run_steady_corner_flow(side, config_word_bits, mode, run_cycles):
+    """One corner-to-corner CBR flow on a side x side mesh in a
+    periodic steady state; returns (elapsed, net)."""
+    params = daelite_parameters(
+        slot_table_size=16, config_word_bits=config_word_bits
+    )
+    mesh = build_mesh(side, side)
+    dst = ni_name(side - 1, side - 1)
+    # Unsharded on purpose: the curve measures (and asserts) the
+    # replay-backed vector path, which sharding turns off — a stray
+    # REPRO_VECTOR_SHARDS must not change the published numbers.
+    net, _, handle = connected_daelite(
+        mesh, params, "NI00", dst, kernel_mode=mode, vector_shards=1
+    )
+    # Stay under the credit-window limit of the long path: ~8 credits
+    # per round trip of ~7 cycles/hop, so the sustainable period grows
+    # linearly with the hop count.
+    hops = 2 * (side - 1)
+    period = max(40, 2 * hops)
+    gen = CbrGenerator(
+        "gen",
+        inject=net.ni("NI00").injector(handle.forward.src_channel, "c"),
+        period=period,
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni(dst).receiver(handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen)
+    net.kernel.add(sink)
+    net.run(2_000)  # settle into the steady state
+    started = time.perf_counter()
+    net.run(run_cycles)
+    elapsed = time.perf_counter() - started
+    assert sink.clean and net.stats.delivered_words("c") > 0
+    return elapsed, net
+
+
+def test_vector_throughput_curve_to_32x32(benchmark):
+    """The vector kernel completes a steady 32x32 (2048-element) fabric
+    and its cycles/s-vs-size curve lands in ``BENCH_kernel.json``.
+
+    The curve also pins the scaling claim itself: vector throughput on
+    32x32 must stay within ~20x of the 8x8 point (per-cycle work grows
+    with fabric size only through the stepped boundary cycles and the
+    materialized word volume, not the register count), where a
+    per-register scalar engine degrades far faster.
+    """
+    run_cycles = 20_000
+    sizes = list(VECTOR_CURVE_SIZES)
+    if os.environ.get(HUGE_FABRIC_ENV, "").strip():
+        sizes.append((64, 15))
+
+    def sweep():
+        rows = []
+        for side, bits in sizes:
+            walls = [
+                run_steady_corner_flow(side, bits, VECTOR_MODE, run_cycles)
+                for _ in range(2)
+            ]
+            wall = min(w for w, _ in walls)
+            net = walls[0][1]
+            kstats = net.kernel.kernel_stats()
+            rows.append(
+                {
+                    "mesh": f"{side}x{side}",
+                    "elements": side * side * 2,
+                    "config_word_bits": bits,
+                    "measured_cycles": run_cycles,
+                    "cycles_per_second": round(run_cycles / wall),
+                    "replayed_epochs": kstats["replayed_epochs"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nVECTOR KERNEL — steady-flow throughput vs fabric size")
+    print(f"{'mesh':>7} {'elements':>9} {'cycles/s':>12} {'epochs':>7}")
+    for row in rows:
+        print(
+            f"{row['mesh']:>7} {row['elements']:>9} "
+            f"{row['cycles_per_second']:>12,} {row['replayed_epochs']:>7}"
+        )
+    by_mesh = {row["mesh"]: row for row in rows}
+    assert by_mesh["32x32"]["cycles_per_second"] > 0
+    for row in rows:
+        assert row["replayed_epochs"] > 0, f"no replay on {row['mesh']}"
+    assert (
+        by_mesh["8x8"]["cycles_per_second"]
+        < 20 * by_mesh["32x32"]["cycles_per_second"]
+    ), "vector throughput collapsed between 8x8 and 32x32"
+
+    # Merge the curve into the kernel benchmark record (created by
+    # bench_kernel_compiled, which sorts before this file); tolerate a
+    # standalone run where the record does not exist yet.
+    path = BENCH_RESULT_DIR / "BENCH_kernel.json"
+    record = {"benchmark": "kernel"}
+    if path.exists():
+        record = json.loads(path.read_text())
+    record["vector_scalability"] = {
+        "workload": "corner-to-corner CBR flow, T=16",
+        "kernel_mode": VECTOR_MODE,
+        "aggregation": "best-of-2",
+        "curve": rows,
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

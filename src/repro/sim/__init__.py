@@ -3,8 +3,10 @@
 from .flit import IDLE_PHIT, Phit, Word
 from .kernel import (
     ACTIVITY_MODE,
+    COMPILED_MODE,
     KERNEL_MODE_ENV,
     NAIVE_MODE,
+    VECTOR_MODE,
     Component,
     Kernel,
     Register,
@@ -19,8 +21,10 @@ __all__ = [
     "Phit",
     "Word",
     "ACTIVITY_MODE",
+    "COMPILED_MODE",
     "KERNEL_MODE_ENV",
     "NAIVE_MODE",
+    "VECTOR_MODE",
     "Component",
     "Kernel",
     "Register",

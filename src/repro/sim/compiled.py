@@ -54,7 +54,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import SimulationError
 from .flit import Phit, Word
-from .kernel import CompileRefusal, Kernel, Register
+from .kernel import VECTOR_MODE, CompileRefusal, Kernel, Register
 from .stats import FAULT_DETECTED
 
 # Move-map operation tags (op[0]).
@@ -83,6 +83,13 @@ def install_compile_provider(network: Any) -> None:
     The provider re-checks cheap eligibility on every acquisition and
     reuses the previous engine as long as the schedule token (slot-table
     versions + applied config actions) is unchanged.
+
+    In ``vector`` mode the provider prefers the numpy-lowered engine
+    (:mod:`repro.sim.vector`) and degrades along the typed chain
+    vector -> compiled -> activity: a vector-specific refusal is noted
+    in the kernel telemetry and the compiled interpreter serves the
+    request instead, so vector mode is never slower than compiled mode
+    and never silently wrong.
     """
 
     def provider(
@@ -94,6 +101,15 @@ def install_compile_provider(network: Any) -> None:
         token = _schedule_token(network)
         if previous is not None and previous.token == token:
             return previous
+        if kernel.mode == VECTOR_MODE:
+            from .vector import compile_vector_network
+
+            result = compile_vector_network(network, token)
+            if not isinstance(result, CompileRefusal):
+                return result
+            # Typed downgrade: record why the vector lowering refused,
+            # then serve the request with the compiled interpreter.
+            kernel._note_refusal(result)
         return compile_network(network, token)
 
     network.kernel.compile_provider = provider
@@ -285,12 +301,16 @@ def _classify_components(network: Any) -> Any:
     return gens, sinks
 
 
-def compile_network(network: Any, token: int) -> Any:
+def compile_network(
+    network: Any, token: int, engine_cls: Optional[type] = None
+) -> Any:
     """Flatten the configured data plane into a :class:`CompiledEngine`.
 
     Returns the engine, or a :class:`CompileRefusal` when the programmed
     schedule cannot be proven drop- and collision-free (the stepped
     kernels handle such schedules with their runtime checks instead).
+    ``engine_cls`` lets alternative executors of the same op tables
+    (the vector engine) reuse this entire lowering pipeline.
     """
     from ..traffic.generators import TraceGenerator
 
@@ -467,7 +487,9 @@ def compile_network(network: Any, token: int) -> Any:
     if period > MAX_REPLAY_PERIOD:
         replay_ok = False
 
-    return CompiledEngine(
+    if engine_cls is None:
+        engine_cls = CompiledEngine
+    return engine_cls(
         network=network,
         token=token,
         wheel=wheel,
@@ -1103,6 +1125,26 @@ class CompiledEngine:
                     sink, _ni, _ch, _p, checking = sinks[extra]
                     self._consume(sink, checking, at, moved)
 
+        self._scale_counters(epochs, before, after)
+
+        for rid, phit in list(cur.items()):
+            word = phit.word
+            if word is None:
+                continue
+            delta = deltas.get(word.connection, 0)
+            if delta:
+                cur[rid] = Phit(
+                    word=shifted(word, epochs * delta),
+                    credit_bits=phit.credit_bits,
+                )
+        self._shift_queues(deltas, epochs)
+
+    def _scale_counters(
+        self, epochs: int, before: dict, after: dict
+    ) -> None:
+        """Scale every cumulative counter by ``epochs`` steady deltas
+        (links, routers, generators, channel endpoints, sequence
+        counters).  Shared by the compiled and vector materializers."""
         for setter, old, now in zip(
             self.counter_setters, before["fixed"], after["fixed"]
         ):
@@ -1145,16 +1187,10 @@ class CompiledEngine:
                     )
                 index += 1
 
-        for rid, phit in list(cur.items()):
-            word = phit.word
-            if word is None:
-                continue
-            delta = deltas.get(word.connection, 0)
-            if delta:
-                cur[rid] = Phit(
-                    word=shifted(word, epochs * delta),
-                    credit_bits=phit.credit_bits,
-                )
+    def _shift_queues(
+        self, deltas: Dict[str, int], epochs: int
+    ) -> None:
+        """Rewrite queued words to their post-replay identities."""
         for ni in self.nis_list:
             for source in ni.source_channels.values():
                 self._shift_queue(source.queue, deltas, epochs)

@@ -115,8 +115,17 @@ NAIVE_MODE = "naive"
 #: (falls back to the activity kernel whenever the network is not
 #: compilable — see :mod:`repro.sim.compiled`).
 COMPILED_MODE = "compiled"
+#: Vectorized numpy data plane: the compiled op tables lowered to
+#: preallocated gather/scatter index arrays, with the same epoch replay
+#: applied in bulk (falls back vector -> compiled -> activity — see
+#: :mod:`repro.sim.vector`).
+VECTOR_MODE = "vector"
 
-_MODES = (ACTIVITY_MODE, NAIVE_MODE, COMPILED_MODE)
+_MODES = (ACTIVITY_MODE, NAIVE_MODE, COMPILED_MODE, VECTOR_MODE)
+
+#: Modes served by the compiled-engine step loop (a provider decides
+#: which engine actually backs them).
+_ENGINE_MODES = (COMPILED_MODE, VECTOR_MODE)
 
 
 class CompileRefusal:
@@ -150,6 +159,16 @@ class CompileRefusal:
     DATAPATH_BUSY = "datapath_busy"
     #: Parameters outside the compiled timing model.
     UNSUPPORTED_PARAMS = "unsupported_params"
+
+    #: Kinds that are *transient* obstructions of an otherwise
+    #: compilable network: config words draining off the tree, phits
+    #: draining out of pipeline registers after a reconfiguration.
+    #: The kernel treats these as deferrals — it steps a bounded window
+    #: on the activity kernel and re-probes — instead of falling back
+    #: for the remainder of the call, so piecewise-periodic workloads
+    #: (use-case switches) re-enter compiled/vector execution and
+    #: re-arm steady-state probing in the *new* regime.
+    DEFERRABLE = frozenset((CONFIG_ACTIVE, DATAPATH_BUSY))
 
     def __init__(self, kind: str, detail: str = "") -> None:
         self.kind = kind
@@ -431,13 +450,17 @@ class Kernel:
         self.replayed_cycles = 0
         #: refusal kind -> number of fallbacks to the activity kernel.
         self.compile_fallbacks: Dict[str, int] = {}
+        #: refusal kind -> number of *deferrals*: transient refusals
+        #: (config traffic, draining datapath) stepped through on the
+        #: activity kernel before successfully re-acquiring an engine.
+        self.compile_deferrals: Dict[str, int] = {}
         self._last_refusal: Optional[CompileRefusal] = None
 
     # -- mode ----------------------------------------------------------------
 
     @property
     def mode(self) -> str:
-        """``"activity"``, ``"naive"`` or ``"compiled"``."""
+        """``"activity"``, ``"naive"``, ``"compiled"`` or ``"vector"``."""
         return self._mode
 
     def set_mode(self, mode: str) -> None:
@@ -719,7 +742,11 @@ class Kernel:
             return None
         result = provider(self, self._engine)
         if isinstance(result, CompileRefusal):
-            self._retire_engine(decompile=True)
+            if result.kind not in CompileRefusal.DEFERRABLE:
+                self._retire_engine(decompile=True)
+            # Deferrable refusals keep the engine cached: it holds no
+            # state between runs (decompile is a no-op), and the token
+            # check makes reuse after the obstruction clears cheap.
             self._note_refusal(result)
             return None
         self._engine = result
@@ -748,11 +775,19 @@ class Kernel:
             "replayed_epochs": self.replayed_epochs,
             "replayed_cycles": self.replayed_cycles,
             "compile_fallbacks": dict(self.compile_fallbacks),
+            "compile_deferrals": dict(self.compile_deferrals),
             "last_refusal": None if refusal is None else refusal.kind,
             "last_refusal_detail": (
                 None if refusal is None else refusal.detail
             ),
         }
+
+    #: First deferral window (cycles stepped on the activity kernel
+    #: before re-probing engine eligibility after a transient refusal).
+    DEFER_WINDOW_MIN = 64
+    #: Deferral windows back off exponentially up to this cap, so a
+    #: long-lived obstruction costs O(log) probes, not one per window.
+    DEFER_WINDOW_MAX = 4096
 
     def _step_compiled(self, cycles: int) -> None:
         """Advance ``cycles`` cycles, compiled where possible.
@@ -760,14 +795,33 @@ class Kernel:
         Callbacks are barriers: they may mutate arbitrary state, so the
         engine runs up to the earliest scheduled callback, decompiles,
         and the callback's cycle executes under the activity kernel;
-        eligibility is then re-checked.  Any refusal falls back to the
-        activity kernel for the remainder of this call — re-probing
-        every cycle would make dense stepped phases quadratic.
+        eligibility is then re-checked.
+
+        Refusals split two ways.  *Transient* kinds
+        (:attr:`CompileRefusal.DEFERRABLE`: config traffic in flight,
+        phits draining off the compiled schedule) are deferrals — the
+        kernel steps a bounded, exponentially growing activity window
+        and re-probes, so a use-case switch re-enters compiled
+        execution (and re-arms steady-state probing) once the tree is
+        quiet.  Every other kind falls back to the activity kernel for
+        the remainder of this call — re-probing a permanently refusing
+        configuration every window would only burn eligibility scans.
         """
         end = self.cycle + cycles
+        defer_window = self.DEFER_WINDOW_MIN
         while self.cycle < end:
             engine = self._acquire_engine()
             if engine is None:
+                refusal = self._last_refusal
+                if (
+                    refusal is not None
+                    and refusal.kind in CompileRefusal.DEFERRABLE
+                ):
+                    self._defer(refusal, min(defer_window, end - self.cycle))
+                    defer_window = min(
+                        defer_window * 2, self.DEFER_WINDOW_MAX
+                    )
+                    continue
                 self._step_activity(end - self.cycle)
                 return
             barrier = end
@@ -777,14 +831,34 @@ class Kernel:
             if barrier > self.cycle:
                 refusal = engine.run_to(barrier)
                 if refusal is not None:
-                    self._retire_engine(decompile=True)
                     self._note_refusal(refusal)
+                    if refusal.kind in CompileRefusal.DEFERRABLE:
+                        # Import-time refusal: nothing was executed and
+                        # the engine holds no state, so keep it cached —
+                        # the next probe revalidates by token instead of
+                        # recompiling the whole mesh.
+                        self._defer(
+                            refusal, min(defer_window, end - self.cycle)
+                        )
+                        defer_window = min(
+                            defer_window * 2, self.DEFER_WINDOW_MAX
+                        )
+                        continue
+                    self._retire_engine(decompile=True)
                     self._step_activity(end - self.cycle)
                     return
+                defer_window = self.DEFER_WINDOW_MIN
             if self.cycle < end:
                 # A callback is due at the current cycle; run it stepped.
                 self._retire_engine(decompile=True)
                 self._step_activity(1)
+
+    def _defer(self, refusal: CompileRefusal, window: int) -> None:
+        """Step a bounded activity window through a transient refusal."""
+        self.compile_deferrals[refusal.kind] = (
+            self.compile_deferrals.get(refusal.kind, 0) + 1
+        )
+        self._step_activity(max(1, window))
 
     # -- execution -----------------------------------------------------------
 
@@ -793,7 +867,7 @@ class Kernel:
         with self._strict_stepping():
             if self._mode == NAIVE_MODE:
                 self._step_naive(cycles)
-            elif self._mode == COMPILED_MODE:
+            elif self._mode in _ENGINE_MODES:
                 self._step_compiled(cycles)
             else:
                 self._step_activity(cycles)

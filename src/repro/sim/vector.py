@@ -1,0 +1,1390 @@
+"""Vectorized numpy execution of the compiled flat schedule.
+
+This is the fourth kernel mode (``REPRO_KERNEL_MODE=vector``).  It reuses
+the *entire* lowering pipeline of :mod:`repro.sim.compiled` — component
+classification, per-phase move maps, the static occupancy walk, steady
+period computation — and then lowers the per-phase op tables once more,
+into preallocated integer index arrays, so one wheel phase executes as a
+handful of fused numpy gathers/scatters over a dense ``(6, R)`` state
+matrix instead of a Python loop over a sparse phit dict:
+
+* **State layout** — one int64 column per compiled register, six planes:
+  payload, sequence, interned connection id, parity (0 = none, else
+  ``parity + 1``), credit bits, and word-valid.  A column is *occupied*
+  when the valid or credit plane is non-zero; an all-zero column is an
+  idle register.  Connection strings are interned to small ints once per
+  compilation (id 0 is reserved for the empty string).
+* **Phase lowering** — every op of a phase whose source register is
+  statically reachable (per the occupancy walk) becomes one or more
+  ``(src, dst)`` index pairs; multicast FORWARD fans out as repeated
+  source indices.  Link/router counters become per-op accumulator adds
+  folded into the real objects only at flush points, and INJECT /
+  ARRIVE ops keep positions so word bookkeeping (stats, channel
+  delivery, parity check, credit return) runs scalar on the rare
+  occupied entries.  Because the occupancy walk proved every reachable
+  ``(register, phase)`` has exactly one consumer and every writer is
+  unique, clearing all op sources and scattering the gathered columns
+  is collision-free by construction.
+* **Epoch replay in bulk** — the same signature/snapshot probing as the
+  compiled engine, but materialization re-records the captured epoch's
+  events with numpy broadcasting (``k``-major, chronological within
+  each epoch) through the stats collector's bulk entry points, shifts
+  in-flight words with one masked vector update (parity recomputed via
+  an xor fold), and reuses the parent's counter scaling and queue
+  shifting verbatim.
+* **Sharding** — ``REPRO_VECTOR_SHARDS``/``REPRO_VECTOR_WORKERS`` (or
+  the network's ``vector_shards``/``vector_workers`` attributes) split
+  the register space into contiguous tiles along the slot-table phase
+  boundary.  Pairs whose source and destination fall in one tile run in
+  that tile's tab; everything that crosses a cut — plus all arrivals
+  and injection records — runs in a per-phase *parent* tab whose
+  sources are gathered **before** the tiles clear and scattered after,
+  which is a pure reordering of writes to disjoint columns and hence
+  bit-exact.  With workers, tiles execute in forked processes over a
+  ``multiprocessing.shared_memory`` backing buffer and only the
+  boundary columns (the parent tab) touch the coordinating process.
+
+Anything the dense encoding cannot represent bit-exactly (payloads or
+sequences outside the int64 budget, pre-stamped ``injected_at``,
+exotic parity values, non-string connection labels, non-positive
+credit words) is refused at import/compile time with a typed
+:class:`~repro.sim.kernel.CompileRefusal`, and the provider chain
+degrades vector -> compiled -> activity.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+try:  # numpy is a hard dependency of the repo, but vector mode degrades
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    np = None  # type: ignore[assignment]
+
+from .compiled import (
+    _EV_EJECT,
+    _EV_INJECT,
+    _EV_SINK,
+    _NEVER,
+    _OP_ARRIVE,
+    _OP_FORWARD,
+    _OP_INJECT,
+    _OP_MOVE,
+    _OP_SEND,
+    _PAYLOAD_MASK,
+    CompiledEngine,
+    compile_network,
+)
+from .flit import Phit, Word
+from .kernel import CompileRefusal
+from .stats import FAULT_DETECTED
+
+#: Environment variable: number of register tiles for sharded execution.
+VECTOR_SHARDS_ENV = "REPRO_VECTOR_SHARDS"
+#: Environment variable: worker processes executing the tiles (0 = the
+#: tiles run serially in-process; capped at the shard count).
+VECTOR_WORKERS_ENV = "REPRO_VECTOR_WORKERS"
+
+# State-plane indices of the dense (6, R) register matrix.
+_PAY, _SEQ, _CID, _PAR, _CRED, _VAL = range(6)
+_PLANES = 6
+
+#: Payloads/sequences/credits must stay strictly below this so every
+#: arithmetic shift the replay applies fits in int64 without overflow.
+_VALUE_LIMIT = 1 << 62
+
+# Worker pipe protocol (anything >= 0 is a wheel phase to execute).
+_MSG_EXIT = -1
+_MSG_FLUSH = -2
+
+
+def _parity64(v: Any) -> Any:
+    """Elementwise parity (popcount mod 2) via xor fold."""
+    v = v ^ (v >> 32)
+    v = v ^ (v >> 16)
+    v = v ^ (v >> 8)
+    v = v ^ (v >> 4)
+    v = v ^ (v >> 2)
+    v = v ^ (v >> 1)
+    return v & 1
+
+
+class _PhaseTab:
+    """One wheel phase lowered to index arrays.
+
+    ``srcs``/``dsts`` are the movement pairs (multicast expanded);
+    ``gsrc`` is ``srcs`` concatenated with the arrival sources so the
+    whole phase needs a single gather.  ``lpos``/``fpos``/``ipos`` are
+    positions *into the pair list* of link-counter, router-counter and
+    injection-record ops; ``clear`` is every op source (movement and
+    arrival), i.e. every column that can be occupied this phase.
+    """
+
+    __slots__ = (
+        "gsrc",
+        "dsts",
+        "n_mv",
+        "lpos",
+        "lidx",
+        "fpos",
+        "fidx",
+        "ipos",
+        "cpos",
+        "n_l",
+        "n_f",
+        "ameta",
+        "clear",
+        "acc_p",
+        "acc_w",
+        "acc_f",
+        "empty",
+    )
+
+    def __init__(
+        self,
+        srcs: List[int],
+        dsts: List[int],
+        lpos: List[int],
+        lidx: List[int],
+        fpos: List[int],
+        fidx: List[int],
+        ipos: List[int],
+        asrc: List[int],
+        ameta: List[tuple],
+        clear: List[int],
+    ) -> None:
+        idx = np.intp
+        self.gsrc = np.asarray(srcs + asrc, dtype=idx)
+        self.dsts = np.asarray(dsts, dtype=idx)
+        self.n_mv = len(srcs)
+        self.lpos = np.asarray(lpos, dtype=idx)
+        self.lidx = np.asarray(lidx, dtype=idx)
+        self.fpos = np.asarray(fpos, dtype=idx)
+        self.fidx = np.asarray(fidx, dtype=idx)
+        self.ipos = np.asarray(ipos, dtype=idx)
+        # One fused gather position list for the three counter/record
+        # masks — a single word-occupancy take per phase instead of
+        # three (see _apply_tab).
+        self.cpos = np.asarray(lpos + fpos + ipos, dtype=idx)
+        self.n_l = len(lpos)
+        self.n_f = len(fpos)
+        self.ameta = tuple(ameta)
+        self.clear = np.asarray(clear, dtype=idx)
+        self.acc_p = np.zeros(len(lpos), dtype=np.int64)
+        self.acc_w = np.zeros(len(lpos), dtype=np.int64)
+        self.acc_f = np.zeros(len(fpos), dtype=np.int64)
+        self.empty = not (srcs or asrc or clear)
+
+
+def compile_vector_network(network: Any, token: int) -> Any:
+    """Lower ``network`` into a :class:`VectorEngine` (or refuse, typed).
+
+    Runs the full compiled-mode lowering first (inheriting every one of
+    its eligibility checks and schedule proofs), then the numpy-specific
+    finalization; a refusal at either stage is returned for the provider
+    to note before degrading to the compiled interpreter.
+    """
+    if np is None:
+        return CompileRefusal(
+            CompileRefusal.UNSUPPORTED_PARAMS,
+            "numpy is not importable; vector mode needs it",
+        )
+    result = compile_network(network, token, engine_cls=VectorEngine)
+    if isinstance(result, CompileRefusal):
+        return result
+    refusal = result.finalize_vector()
+    if refusal is not None:
+        result.close()
+        return refusal
+    return result
+
+
+def _shard_config(network: Any, n_regs: int) -> Any:
+    """Resolve (shards, workers) from network attributes / environment."""
+    try:
+        shards = getattr(network, "vector_shards", None)
+        if shards is None:
+            raw = os.environ.get(VECTOR_SHARDS_ENV, "").strip()
+            shards = int(raw) if raw else 1
+        workers = getattr(network, "vector_workers", None)
+        if workers is None:
+            raw = os.environ.get(VECTOR_WORKERS_ENV, "").strip()
+            workers = int(raw) if raw else 0
+        shards = int(shards)
+        workers = int(workers)
+    except (TypeError, ValueError) as exc:
+        return CompileRefusal(
+            CompileRefusal.UNSUPPORTED_PARAMS,
+            f"invalid vector shard/worker setting: {exc}",
+        )
+    shards = max(1, min(shards, max(1, n_regs)))
+    workers = max(0, min(workers, shards))
+    return shards, workers
+
+
+class VectorEngine(CompiledEngine):
+    """Numpy-lowered executor of the compiled op tables.
+
+    Constructed by :func:`compile_vector_network` through the parent's
+    :func:`~repro.sim.compiled.compile_network` (so all schedule proofs
+    apply) and then finalized with :meth:`finalize_vector`, which builds
+    the dense state matrix and the per-phase index tabs.
+    """
+
+    # -- compilation -------------------------------------------------------------
+
+    def finalize_vector(self) -> Optional[CompileRefusal]:
+        """Build the numpy lowering; a refusal falls back to compiled."""
+        # Trace generators inject their payloads verbatim; validate the
+        # not-yet-injected tail once, at compile time, so the hot loop
+        # never has to range-check an encode.
+        for gen in self.trace_gens:
+            for _cycle, payload in gen.trace[gen._index :]:
+                if not isinstance(payload, int) or not (
+                    0 <= payload < _VALUE_LIMIT
+                ):
+                    return CompileRefusal(
+                        CompileRefusal.UNSUPPORTED_PARAMS,
+                        f"trace generator {gen.name!r} payload "
+                        f"{payload!r} is outside the vector int64 range",
+                    )
+        config = _shard_config(self.network, len(self.regs))
+        if isinstance(config, CompileRefusal):
+            return config
+        shards, workers = config
+
+        self._conn_ids: Dict[str, int] = {}
+        self._conn_names: List[str] = []
+        self._intern("")  # id 0 <=> "no word" in a zeroed column
+        self._links = list(self.network.links.values())
+        self._link_index = {
+            id(link): i for i, link in enumerate(self._links)
+        }
+        self._routers = list(self.network.routers.values())
+        self._router_index = {
+            id(router): i for i, router in enumerate(self._routers)
+        }
+        self._scratch_lp = np.zeros(len(self._links), dtype=np.int64)
+        self._scratch_lw = np.zeros(len(self._links), dtype=np.int64)
+        self._scratch_fw = np.zeros(len(self._routers), dtype=np.int64)
+
+        n_regs = len(self.regs)
+        self._shm: Any = None
+        self._closed = False
+        if workers > 0:
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=max(8, _PLANES * n_regs * 8)
+            )
+            self._state = np.ndarray(
+                (_PLANES, n_regs), dtype=np.int64, buffer=self._shm.buf
+            )
+            self._state[:] = 0
+        else:
+            self._state = np.zeros((_PLANES, n_regs), dtype=np.int64)
+
+        self._tabs = [
+            self._lower_phase(phase) for phase in range(self.wheel)
+        ]
+        if shards > 1:
+            self._plan: Optional[_ShardPlan] = _ShardPlan(
+                self, self._tabs, shards, workers
+            )
+            self._all_tabs = self._plan.all_tabs
+            # Replay probing flushes counters (a worker round-trip per
+            # boundary) and the shard split drops the per-epoch event
+            # capture; sharded runs target fabrics where raw stepping
+            # is the point, so replay is simply disabled.
+            self.replay_ok = False
+        else:
+            self._plan = None
+            self._all_tabs = self._tabs
+        # Probe state carried across run_to calls (see run_to).
+        self._probe_sig: Any = None
+        self._probe_snap: Any = None
+        self._probe_events: Optional[List[tuple]] = None
+        self._probe_cycle = -1
+        self._probe_end = -1
+        return None
+
+    def _intern(self, connection: str) -> int:
+        cid = self._conn_ids.get(connection)
+        if cid is None:
+            cid = len(self._conn_names)
+            self._conn_ids[connection] = cid
+            self._conn_names.append(connection)
+        return cid
+
+    def _lower_phase(self, phase: int) -> _PhaseTab:
+        """One phase's move map -> index arrays (occupancy-pruned)."""
+        occupancy = self.occupancy
+        link_index = self._link_index
+        router_index = self._router_index
+        srcs: List[int] = []
+        dsts: List[int] = []
+        lpos: List[int] = []
+        lidx: List[int] = []
+        fpos: List[int] = []
+        fidx: List[int] = []
+        ipos: List[int] = []
+        asrc: List[int] = []
+        ameta: List[tuple] = []
+        clear: List[int] = []
+        for rid, op in sorted(self.move_map[phase].items()):
+            if not (occupancy[rid] >> phase) & 1:
+                continue  # statically unreachable: prune
+            clear.append(rid)
+            tag = op[0]
+            if tag == _OP_ARRIVE:
+                asrc.append(rid)
+                ameta.append((op[1], op[2]))
+            elif tag == _OP_MOVE:
+                srcs.append(rid)
+                dsts.append(op[1])
+            elif tag == _OP_SEND:
+                lpos.append(len(srcs))
+                lidx.append(link_index[id(op[2])])
+                srcs.append(rid)
+                dsts.append(op[1])
+            elif tag == _OP_INJECT:
+                lpos.append(len(srcs))
+                lidx.append(link_index[id(op[2])])
+                ipos.append(len(srcs))
+                srcs.append(rid)
+                dsts.append(op[1])
+            else:  # _OP_FORWARD
+                ridx = router_index[id(op[2])]
+                for dst in op[1]:
+                    fpos.append(len(srcs))
+                    fidx.append(ridx)
+                    srcs.append(rid)
+                    dsts.append(dst)
+        # The occupancy walk already refused any (register, phase) with
+        # two reachable writers, so the scatter targets are unique.
+        assert len(set(dsts)) == len(dsts), (
+            f"duplicate scatter destination in wheel phase {phase}"
+        )
+        return _PhaseTab(
+            srcs, dsts, lpos, lidx, fpos, fidx, ipos, asrc, ameta, clear
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def decompile(self) -> None:
+        """Release the shard pool / shared memory (state is already
+        materialized at every :meth:`run_to` exit, like the parent)."""
+        self.close()
+
+    def close(self) -> None:
+        """Idempotently shut down workers and the shared-memory block."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        plan = getattr(self, "_plan", None)
+        if plan is not None:
+            plan.shutdown()
+        shm = getattr(self, "_shm", None)
+        if shm is not None:
+            self._state = np.zeros((_PLANES, 0), dtype=np.int64)
+            self._shm = None
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- state import / export ---------------------------------------------------
+
+    @staticmethod
+    def _word_reason(word: Word) -> Optional[str]:
+        """Why ``word`` cannot live in the dense int64 encoding."""
+        payload = word.payload
+        if not isinstance(payload, int) or not (
+            0 <= payload < _VALUE_LIMIT
+        ):
+            return f"has payload {payload!r} outside the int64 budget"
+        if not (-_VALUE_LIMIT < word.sequence < _VALUE_LIMIT):
+            return f"has sequence {word.sequence!r} outside int64"
+        if word.injected_at != -1:
+            return "carries a pre-stamped injected_at"
+        if word.parity not in (None, 0, 1):
+            return f"has non-binary parity {word.parity!r}"
+        if not isinstance(word.connection, str):
+            return f"has non-string connection {word.connection!r}"
+        return None
+
+    def _phit_reason(self, phit: Phit) -> Optional[str]:
+        if phit.word is not None:
+            reason = self._word_reason(phit.word)
+            if reason:
+                return reason
+        credits = phit.credit_bits
+        if credits is not None and (
+            not isinstance(credits, int)
+            or not (0 < credits < _VALUE_LIMIT)
+        ):
+            return f"has non-positive credit word {credits!r}"
+        return None
+
+    def _import_state(self, cycle: int) -> Optional[CompileRefusal]:
+        refusal = self._import_registers(cycle)
+        if refusal is not None:
+            return refusal
+        for rid, phit in self._cur.items():
+            reason = self._phit_reason(phit)
+            if reason:
+                return CompileRefusal(
+                    CompileRefusal.UNSUPPORTED_PARAMS,
+                    f"in-flight phit in {self.regs[rid].name!r} {reason}",
+                )
+        # Queued words reach the dense encoding (source queues) or the
+        # replay event arrays (dest queues): both need the same budget.
+        for ni in self.nis_list:
+            for group, channels in (
+                ("source", ni.source_channels),
+                ("dest", ni.dest_channels),
+            ):
+                for channel, chan in channels.items():
+                    for word in chan.queue:
+                        reason = self._word_reason(word)
+                        if reason:
+                            return CompileRefusal(
+                                CompileRefusal.UNSUPPORTED_PARAMS,
+                                f"queued word in {ni.name} {group} "
+                                f"ch{channel} {reason}",
+                            )
+        state = self._state
+        state[:] = 0
+        for rid, phit in self._cur.items():
+            col = state[:, rid]
+            word = phit.word
+            if word is not None:
+                col[_PAY] = word.payload
+                col[_SEQ] = word.sequence
+                col[_CID] = self._intern(word.connection)
+                col[_PAR] = 0 if word.parity is None else word.parity + 1
+                col[_VAL] = 1
+            if phit.credit_bits is not None:
+                col[_CRED] = phit.credit_bits
+        return None
+
+    def _cur_dict(self) -> Dict[int, Phit]:
+        """Decode the dense state back into the parent's sparse form."""
+        state = self._state
+        occ = (state[_VAL] != 0) | (state[_CRED] != 0)
+        names = self._conn_names
+        cur: Dict[int, Phit] = {}
+        for rid in np.nonzero(occ)[0].tolist():
+            col = state[:, rid]
+            word = None
+            if col[_VAL]:
+                par = int(col[_PAR])
+                word = Word(
+                    payload=int(col[_PAY]),
+                    connection=names[int(col[_CID])],
+                    sequence=int(col[_SEQ]),
+                    parity=None if par == 0 else par - 1,
+                )
+            credits = int(col[_CRED])
+            cur[rid] = Phit(word=word, credit_bits=credits or None)
+        return cur
+
+    def _export_state(self) -> None:
+        self._cur = self._cur_dict()
+        self._export_registers()
+
+    # -- per-phase execution -----------------------------------------------------
+
+    def _apply_tab(
+        self,
+        tab: _PhaseTab,
+        vals: Any,
+        cycle: int,
+        events: Optional[List[tuple]],
+    ) -> None:
+        """Counters, clear, scatter, records and arrivals of one tab.
+
+        ``vals`` is the (copied) gather of ``tab.gsrc`` taken *before*
+        any column owned by this phase was cleared.
+        """
+        state = self._state
+        n_mv = tab.n_mv
+        mv = vals[:, :n_mv]
+        wocc = mv[_VAL] != 0
+        nl = tab.n_l
+        nf = tab.n_f
+        if tab.cpos.size:
+            cg = wocc.take(tab.cpos)
+            if nl:
+                wl = cg[:nl]
+                tab.acc_w += wl
+                tab.acc_p += wl | (mv[_CRED].take(tab.lpos) != 0)
+            if nf:
+                tab.acc_f += cg[nl : nl + nf]
+        if tab.clear.size:
+            state[:, tab.clear] = 0
+        if n_mv:
+            state[:, tab.dsts] = mv
+        if tab.ipos.size:
+            hits = tab.ipos[cg[nl + nf :]]
+            if hits.size:
+                stats = self.stats
+                names = self._conn_names
+                for pos in hits.tolist():
+                    cid = int(mv[_CID, pos])
+                    seq = int(mv[_SEQ, pos])
+                    stats.bulk_record_injections(
+                        names[cid], (seq,), (cycle,)
+                    )
+                    if events is not None:
+                        events.append((_EV_INJECT, cycle, cid, seq))
+        if tab.ameta:
+            av = vals[:, n_mv:]
+            hot = np.nonzero((av[_VAL] | av[_CRED]) != 0)[0]
+            if hot.size:
+                for j in hot.tolist():
+                    self._arrive(tab.ameta[j], av[:, j], cycle, events)
+
+    def _arrive(
+        self,
+        meta: tuple,
+        col: Any,
+        cycle: int,
+        events: Optional[List[tuple]],
+    ) -> None:
+        """Scalar arrival: delivery, parity check, credits (rare)."""
+        ni, channel = meta
+        dest = ni.dest_channel(channel)
+        if col[_VAL]:
+            cid = int(col[_CID])
+            seq = int(col[_SEQ])
+            par = int(col[_PAR])
+            word = Word(
+                payload=int(col[_PAY]),
+                connection=self._conn_names[cid],
+                sequence=seq,
+                parity=None if par == 0 else par - 1,
+            )
+            if word.parity_ok:
+                dest.deliver(word)
+                self.stats.record_ejection(
+                    word, cycle, destination=ni.name
+                )
+                if events is not None:
+                    events.append((_EV_EJECT, cycle, cid, seq, ni.name))
+            else:
+                ni.dropped_words += 1
+                self.stats.record_fault(
+                    cycle,
+                    FAULT_DETECTED,
+                    "parity_error",
+                    ni.name,
+                    f"ch{channel}: {word!r}",
+                )
+        credits = int(col[_CRED])
+        if credits:
+            ni._credit_paired_source(dest, credits)
+
+    # -- counter flush -----------------------------------------------------------
+
+    def _flush_counters(self) -> None:
+        """Fold the accumulator arrays into the live link/router objects."""
+        lp = self._scratch_lp
+        lw = self._scratch_lw
+        fw = self._scratch_fw
+        lp[:] = 0
+        lw[:] = 0
+        fw[:] = 0
+        for tab in self._all_tabs:
+            if tab.lidx.size:
+                np.add.at(lp, tab.lidx, tab.acc_p)
+                np.add.at(lw, tab.lidx, tab.acc_w)
+                tab.acc_p[:] = 0
+                tab.acc_w[:] = 0
+            if tab.fidx.size:
+                np.add.at(fw, tab.fidx, tab.acc_f)
+                tab.acc_f[:] = 0
+        if self._plan is not None:
+            self._plan.merge_worker_counters(lp, lw, fw)
+        links = self._links
+        for i in np.nonzero(lp)[0].tolist():
+            links[i].phits_carried += int(lp[i])
+        for i in np.nonzero(lw)[0].tolist():
+            links[i].words_carried += int(lw[i])
+        routers = self._routers
+        for i in np.nonzero(fw)[0].tolist():
+            routers[i].forwarded_words += int(fw[i])
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_to(self, end: int) -> Optional[CompileRefusal]:
+        """Advance to ``end``; mirrors the parent's loop structure with
+        the dense data plane and bulk replay materialization."""
+        kernel = self.kernel
+        cycle = kernel.cycle
+        if cycle >= end:
+            return None
+        refusal = self._import_state(cycle)
+        if refusal is not None:
+            return refusal
+
+        state = self._state
+        tabs = self._tabs
+        plan = self._plan
+        wheel = self.wheel
+        credit_cap = self.credit_cap
+        gens = self.gens
+        intern = self._intern
+
+        # Resolve loop-invariant channel lookups once per run: the
+        # compiled configuration is frozen for the duration of a run
+        # (config traffic raises a refusal long before this point), so
+        # source/dest channel membership cannot change mid-run.
+        inj_res: List[List[tuple]] = []
+        for ops in self.inj_ops:
+            res = []
+            for ni, channel, stage_rid, collect in ops:
+                source = ni.source_channels.get(channel)
+                if source is None:
+                    continue
+                dest = None
+                if collect and source.paired_arrival is not None:
+                    dest = ni.dest_channels.get(source.paired_arrival)
+                res.append((source, stage_rid, dest))
+            inj_res.append(res)
+        sink_res = [
+            (
+                sink,
+                ni.dest_channels.get(channel),
+                sink_period,
+                checking,
+                sink_index,
+            )
+            for sink_index, (
+                sink,
+                ni,
+                channel,
+                sink_period,
+                checking,
+            ) in enumerate(self.sinks)
+        ]
+
+        gen_next: List[int] = []
+        gen_due = _NEVER
+        for gen in gens:
+            nxt = gen.next_evaluation(cycle)
+            fire = _NEVER if nxt is None else nxt
+            gen_next.append(fire)
+            if fire < gen_due:
+                gen_due = fire
+
+        period = self.period
+        replay_ok = self.replay_ok
+        events: Optional[List[tuple]] = [] if replay_ok else None
+        prev_sig: Any = None
+        prev_snap: Any = None
+        next_boundary = (
+            cycle + (-cycle) % period if replay_ok else _NEVER
+        )
+        # Resume the probe carried over from the previous run: if that
+        # run ended mid-epoch with a boundary signature in hand and we
+        # restart at the exact cycle it stopped, keep its signature and
+        # partial event recording so the very next boundary can already
+        # replay.  Any external mutation in between changes the next
+        # boundary signature and simply fails the comparison.
+        if (
+            replay_ok
+            and self._probe_sig is not None
+            and self._probe_end == cycle
+            and self._probe_cycle == next_boundary - period
+        ):
+            prev_sig = self._probe_sig
+            prev_snap = self._probe_snap
+            events = self._probe_events
+        self._probe_sig = None
+        stepped = 0
+        replayed_epochs = 0
+        replayed_cycles = 0
+        clean_exit = False
+
+        try:
+            while cycle < end:
+                if cycle == next_boundary:
+                    assert events is not None
+                    if any(not gen.done for gen in self.trace_gens):
+                        prev_sig = None
+                        prev_snap = None
+                    else:
+                        self._flush_counters()
+                        sig = self._signature(cycle, self._cur_dict())
+                        snap = self._snapshot(cycle)
+                        if prev_sig is not None and sig == prev_sig:
+                            epochs = (end - cycle) // period
+                            epochs = min(
+                                epochs,
+                                self._replay_horizon(prev_snap, snap),
+                            )
+                            if epochs >= 1 and self._deltas_clean(
+                                prev_snap, snap
+                            ):
+                                self._materialize_vec(
+                                    epochs, prev_snap, snap, events
+                                )
+                                cycle += epochs * period
+                                replayed_epochs += epochs
+                                replayed_cycles += epochs * period
+                                # The landing state is the epoch state
+                                # shifted by `epochs` periods, and the
+                                # signature is shift-invariant (that is
+                                # what matching across one period just
+                                # proved), so stay armed: re-snapshot
+                                # here and the next boundary can replay
+                                # again without re-probing a full epoch.
+                                prev_sig = sig
+                                prev_snap = self._snapshot(cycle)
+                                events.clear()
+                                next_boundary = cycle + period
+                                gen_due = _NEVER
+                                for i, gen in enumerate(gens):
+                                    nxt = gen.next_evaluation(cycle)
+                                    fire = (
+                                        _NEVER if nxt is None else nxt
+                                    )
+                                    gen_next[i] = fire
+                                    if fire < gen_due:
+                                        gen_due = fire
+                                continue
+                        prev_sig = sig
+                        prev_snap = snap
+                    events.clear()
+                    next_boundary = cycle + period
+
+                phase = cycle % wheel
+                if plan is None:
+                    tab = tabs[phase]
+                    if not tab.empty:
+                        self._apply_tab(
+                            tab,
+                            state.take(tab.gsrc, axis=1),
+                            cycle,
+                            events,
+                        )
+                else:
+                    plan.advance(phase, cycle, events)
+
+                for source, stage_rid, dest in inj_res[phase]:
+                    word = (
+                        source.take_word() if source.can_send() else None
+                    )
+                    credits = None
+                    if dest is not None and dest.pending_credits:
+                        credits = (
+                            dest.take_pending_credits(credit_cap) or None
+                        )
+                    if word is not None or credits:
+                        col = state[:, stage_rid]
+                        if word is not None:
+                            col[_PAY] = word.payload
+                            col[_SEQ] = word.sequence
+                            col[_CID] = intern(word.connection)
+                            col[_PAR] = (
+                                0
+                                if word.parity is None
+                                else word.parity + 1
+                            )
+                            col[_VAL] = 1
+                        if credits:
+                            col[_CRED] = credits
+
+                if cycle == gen_due:
+                    gen_due = _NEVER
+                    for i, gen in enumerate(gens):
+                        fire = gen_next[i]
+                        if fire == cycle:
+                            gen.evaluate(cycle)
+                            nxt = gen.next_evaluation(cycle + 1)
+                            fire = _NEVER if nxt is None else nxt
+                            gen_next[i] = fire
+                        if fire < gen_due:
+                            gen_due = fire
+
+                for sink, dest, sink_period, checking, sink_index in (
+                    sink_res
+                ):
+                    if dest is None or not dest.queue:
+                        continue
+                    if cycle < sink.start_cycle:
+                        continue
+                    if sink_period and cycle % sink_period:
+                        continue
+                    for word in dest.drain(sink.words_per_cycle):
+                        self._consume(sink, checking, cycle, word)
+                        if events is not None:
+                            events.append(
+                                (
+                                    _EV_SINK,
+                                    cycle,
+                                    intern(word.connection),
+                                    word.sequence,
+                                    word.payload,
+                                    sink_index,
+                                )
+                            )
+
+                cycle += 1
+                stepped += 1
+            clean_exit = True
+        finally:
+            if clean_exit and replay_ok and prev_sig is not None:
+                self._probe_sig = prev_sig
+                self._probe_snap = prev_snap
+                self._probe_events = events
+                self._probe_cycle = next_boundary - period
+                self._probe_end = cycle
+            self._flush_counters()
+            self._export_state()
+            kernel.cycle = cycle
+            kernel.compiled_cycles += stepped + replayed_cycles
+            kernel.replayed_epochs += replayed_epochs
+            kernel.replayed_cycles += replayed_cycles
+            kernel._watchers = None
+        return None
+
+    # -- bulk epoch replay -------------------------------------------------------
+
+    def _materialize_vec(
+        self,
+        epochs: int,
+        before: dict,
+        after: dict,
+        events: List[tuple],
+    ) -> None:
+        """Apply ``epochs`` steady epochs with numpy broadcasting.
+
+        Event streams are re-recorded k-major (all epochs of one
+        connection at once) through the stats collector's bulk entry
+        points; within each per-connection (and per-sink) stream this
+        reproduces exactly the order the parent's k-outer loop would
+        produce, and across streams only dict iteration order differs —
+        which no comparable state (per-connection latency lists, keyed
+        records, received streams) can observe.  Injections land before
+        ejections so every replayed ejection finds its record.
+        """
+        period = self.period
+        stats = self.stats
+        names = self._conn_names
+        deltas = {
+            conn: after["seqs"][conn] - before["seqs"][conn]
+            for conn in after["seqs"]
+        }
+        dvec = np.zeros(len(names), dtype=np.int64)
+        for conn, delta in deltas.items():
+            cid = self._conn_ids.get(conn)
+            if cid is not None:
+                dvec[cid] = delta
+        ks = np.arange(1, epochs + 1, dtype=np.int64)
+        kcyc = ks * period  # per-epoch cycle offsets
+
+        inj_by_cid: Dict[int, List[tuple]] = {}
+        ej_by_cid: Dict[int, List[tuple]] = {}
+        sink_by_idx: Dict[int, List[tuple]] = {}
+        for event in events:
+            tag = event[0]
+            if tag == _EV_INJECT:
+                _t, cyc, cid, seq = event
+                inj_by_cid.setdefault(cid, []).append((cyc, seq))
+            elif tag == _EV_EJECT:
+                _t, cyc, cid, seq, dest = event
+                ej_by_cid.setdefault(cid, []).append((cyc, seq, dest))
+            else:
+                _t, cyc, cid, seq, pay, idx = event
+                sink_by_idx.setdefault(idx, []).append(
+                    (cyc, pay, cid, seq)
+                )
+
+        # Per-cid injection records, kept when the flattened run is one
+        # +1-consecutive stream: (first sequence, [WordRecord, ...]) —
+        # the matching ejections then index this list instead of paying
+        # a records-dict lookup per event.
+        created: Dict[int, tuple] = {}
+        for cid, evs in inj_by_cid.items():
+            delta = int(dvec[cid])
+            cyc = np.asarray([e[0] for e in evs], dtype=np.int64)
+            seq = np.asarray([e[1] for e in evs], dtype=np.int64)
+            all_seq = (
+                (seq[None, :] + (ks * delta)[:, None]).ravel().tolist()
+            )
+            inj_cyc = (cyc[None, :] + kcyc[:, None]).ravel()
+            made = stats.bulk_record_injections(
+                names[cid], all_seq, inj_cyc.tolist()
+            )
+            if (
+                made is not None
+                and bool(np.all(seq[1:] - seq[:-1] == 1))
+                and int(seq[0]) + delta == int(seq[-1]) + 1
+            ):
+                created[cid] = (all_seq[0], made, inj_cyc)
+
+        records = stats._records
+        for cid, evs in ej_by_cid.items():
+            delta = int(dvec[cid])
+            conn = names[cid]
+            dests = {e[2] for e in evs}
+            if len(dests) == 1:
+                cyc = np.asarray([e[0] for e in evs], dtype=np.int64)
+                seq = np.asarray([e[1] for e in evs], dtype=np.int64)
+                # The flattened k-major run is one +1-consecutive stream
+                # iff the base epoch is consecutive and each epoch chains
+                # into the next (first + delta == last + 1); proving it
+                # here lets stats skip its per-event order/gap checks.
+                chained = bool(
+                    np.all(seq[1:] - seq[:-1] == 1)
+                ) and int(seq[0]) + delta == int(seq[-1]) + 1
+                all_seq = (
+                    (seq[None, :] + (ks * delta)[:, None])
+                    .ravel()
+                    .tolist()
+                )
+                ej_cyc = (cyc[None, :] + kcyc[:, None]).ravel()
+                found = None
+                lat_hint = None
+                if chained and cid in created:
+                    # Ejections trail injections by the in-flight words
+                    # at the epoch boundary: those few leading records
+                    # predate this batch and come from the dict, the
+                    # rest are the records just created above.  With
+                    # both cycle streams in hand the latency column is
+                    # one vector subtraction.
+                    first_inj, made, inj_cyc = created[cid]
+                    e0, e1 = all_seq[0], all_seq[-1]
+                    if e1 >= first_inj and e1 - first_inj < len(made):
+                        n_old = max(0, min(first_inj, e1 + 1) - e0)
+                        try:
+                            old = [
+                                records[(conn, s)]
+                                for s in range(e0, e0 + n_old)
+                            ]
+                        except KeyError:
+                            old = None
+                        if old is not None:
+                            lo = max(0, e0 - first_inj)
+                            found = old + made[lo : e1 - first_inj + 1]
+                            lat_hint = [
+                                int(c) - r.injected_at
+                                for r, c in zip(old, ej_cyc[:n_old])
+                            ] + (
+                                ej_cyc[n_old:]
+                                - inj_cyc[lo : e1 - first_inj + 1]
+                            ).tolist()
+                stats.bulk_record_ejections(
+                    conn,
+                    evs[0][2],
+                    all_seq,
+                    ej_cyc.tolist(),
+                    consecutive=chained,
+                    found=found,
+                    deltas=lat_hint,
+                )
+            else:
+                # Multicast: per-destination streams interleave inside
+                # one epoch; keep the parent's exact chronological
+                # k-outer order so per-flow checks see the same stream.
+                for k in range(1, epochs + 1):
+                    off_s = k * delta
+                    off_c = k * period
+                    for cyc_e, seq_e, dest in evs:
+                        stats.bulk_record_ejections(
+                            conn,
+                            dest,
+                            (seq_e + off_s,),
+                            (cyc_e + off_c,),
+                        )
+
+        for idx, evs in sink_by_idx.items():
+            sink, _ni, _ch, _p, checking = self.sinks[idx]
+            cyc = np.asarray([e[0] for e in evs], dtype=np.int64)
+            pay = np.asarray([e[1] for e in evs], dtype=np.int64)
+            cids = np.asarray([e[2] for e in evs], dtype=np.intp)
+            de = dvec[cids]
+            all_cyc = (cyc[None, :] + kcyc[:, None]).ravel()
+            shifted = pay[None, :] + ks[:, None] * de[None, :]
+            # Parent semantics: payloads are wrapped only when shifted.
+            all_pay = np.where(
+                de[None, :] != 0, shifted & _PAYLOAD_MASK, shifted
+            ).ravel()
+            sink.received.extend(
+                zip(all_cyc.tolist(), all_pay.tolist())
+            )
+            if checking:
+                self._replay_checking(sink, evs, dvec, epochs)
+
+        self._scale_counters(epochs, before, after)
+        self._shift_state(dvec, epochs)
+        self._shift_queues(deltas, epochs)
+
+    def _replay_checking(
+        self,
+        sink: Any,
+        evs: List[tuple],
+        dvec: Any,
+        epochs: int,
+    ) -> None:
+        """Replay a CheckingSink's sequence bookkeeping.
+
+        Fast path: every connection's epoch stream is consecutive,
+        matches the sink's last-seen counter, and the per-epoch shift
+        equals the stream length — then the whole replay provably
+        produces no findings and only advances ``_last_seq``.  Anything
+        else falls back to the exact scalar walk the parent performs
+        (chronological within each epoch, across connections).
+        """
+        names = self._conn_names
+        streams: Dict[int, List[int]] = {}
+        for _cyc, _pay, cid, seq in evs:
+            if cid and seq >= 0:
+                streams.setdefault(cid, []).append(seq)
+        fast = True
+        for cid, seqs in streams.items():
+            delta = int(dvec[cid])
+            first, last = seqs[0], seqs[-1]
+            consecutive = all(
+                b == a + 1 for a, b in zip(seqs, seqs[1:])
+            )
+            if not (
+                consecutive
+                and first + delta == last + 1
+                and sink._last_seq.get(names[cid]) == last
+            ):
+                fast = False
+                break
+        if fast:
+            for cid, seqs in streams.items():
+                delta = int(dvec[cid])
+                sink._last_seq[names[cid]] = (
+                    seqs[-1] + epochs * delta
+                )
+            return
+        period = self.period
+        for k in range(1, epochs + 1):
+            off_c = k * period
+            for cyc, _pay, cid, seq in evs:
+                if not cid or seq < 0:
+                    continue
+                conn = names[cid]
+                sq = seq + k * int(dvec[cid])
+                at = cyc + off_c
+                last = sink._last_seq.get(conn)
+                expected = 0 if last is None else last + 1
+                if sq > expected:
+                    sink._record(
+                        at,
+                        "e2e_gap",
+                        f"{conn}: expected seq {expected}, got {sq}",
+                    )
+                elif sq < expected:
+                    sink._record(
+                        at,
+                        "e2e_out_of_order",
+                        f"{conn}: expected seq {expected}, got {sq}",
+                    )
+                sink._last_seq[conn] = sq
+
+    def _shift_state(self, dvec: Any, epochs: int) -> None:
+        """Rewrite in-flight words to their post-replay identities."""
+        state = self._state
+        dd = dvec[state[_CID]] * (state[_VAL] != 0)
+        mask = dd != 0
+        if not mask.any():
+            return
+        shift = dd[mask] * epochs
+        pay = (state[_PAY][mask] + shift) & _PAYLOAD_MASK
+        state[_PAY][mask] = pay
+        state[_SEQ][mask] += shift
+        # The parent's shifted() stamps parity unconditionally.
+        state[_PAR][mask] = _parity64(pay) + 1
+
+
+class _ShardPlan:
+    """Tile decomposition of the per-phase tabs along the phase cut.
+
+    Registers split into ``shards`` contiguous tiles
+    (``tile(rid) = rid * shards // len(regs)``).  A movement pair whose
+    source and destination live in one tile — and which needs no global
+    bookkeeping (injection records stay with the parent) — executes in
+    that tile's tab; boundary-crossing pairs, arrivals and injection
+    records form the per-phase *parent* tab.  The TDM schedule fixes at
+    compile time exactly which registers cross a cut in each phase, so
+    the exchange set is compiled once per configuration.
+
+    Ordering argument for bit-exactness: the parent gathers its sources
+    before any tile clears, each column is cleared exactly once (by its
+    owning tile), and every scatter destination is written by exactly
+    one pair (parent or tile) — so serial, worker-parallel and
+    unsharded execution perform the same reads and the same disjoint
+    writes, merely reordered.
+    """
+
+    def __init__(
+        self,
+        engine: VectorEngine,
+        tabs: List[_PhaseTab],
+        shards: int,
+        workers: int,
+    ) -> None:
+        self.engine = engine
+        self.shards = shards
+        self.workers = workers
+        n_regs = len(engine.regs)
+
+        def tile_of(rid: int) -> int:
+            return rid * shards // n_regs
+
+        self.parent_tabs: List[_PhaseTab] = []
+        self.tile_tabs: List[List[_PhaseTab]] = [
+            [] for _ in range(shards)
+        ]
+        for tab in tabs:
+            n_mv = tab.n_mv
+            srcs = tab.gsrc[:n_mv].tolist()
+            asrc = tab.gsrc[n_mv:].tolist()
+            dsts = tab.dsts.tolist()
+            ipos_set = set(tab.ipos.tolist())
+            lmap = dict(zip(tab.lpos.tolist(), tab.lidx.tolist()))
+            fmap: Dict[int, List[int]] = {}
+            for pos, ridx in zip(
+                tab.fpos.tolist(), tab.fidx.tolist()
+            ):
+                fmap.setdefault(pos, []).append(ridx)
+            groups: List[dict] = [
+                {
+                    "srcs": [],
+                    "dsts": [],
+                    "lpos": [],
+                    "lidx": [],
+                    "fpos": [],
+                    "fidx": [],
+                    "ipos": [],
+                    "clear": [],
+                }
+                for _ in range(shards + 1)
+            ]
+            parent = groups[shards]
+            for pos in range(n_mv):
+                src, dst = srcs[pos], dsts[pos]
+                tile = tile_of(src)
+                local = tile == tile_of(dst) and pos not in ipos_set
+                group = groups[tile] if local else parent
+                new_pos = len(group["srcs"])
+                if pos in lmap:
+                    group["lpos"].append(new_pos)
+                    group["lidx"].append(lmap[pos])
+                for ridx in fmap.get(pos, ()):
+                    group["fpos"].append(new_pos)
+                    group["fidx"].append(ridx)
+                if pos in ipos_set:
+                    group["ipos"].append(new_pos)
+                group["srcs"].append(src)
+                group["dsts"].append(dst)
+            # Every occupied column is cleared by its owning tile — the
+            # parent tab clears nothing, so tiles never race it.
+            for rid in tab.clear.tolist():
+                groups[tile_of(rid)]["clear"].append(rid)
+            for tile in range(shards):
+                group = groups[tile]
+                self.tile_tabs[tile].append(
+                    _PhaseTab(
+                        group["srcs"],
+                        group["dsts"],
+                        group["lpos"],
+                        group["lidx"],
+                        group["fpos"],
+                        group["fidx"],
+                        group["ipos"],
+                        [],
+                        [],
+                        group["clear"],
+                    )
+                )
+            self.parent_tabs.append(
+                _PhaseTab(
+                    parent["srcs"],
+                    parent["dsts"],
+                    parent["lpos"],
+                    parent["lidx"],
+                    parent["fpos"],
+                    parent["fidx"],
+                    parent["ipos"],
+                    asrc,
+                    list(tab.ameta),
+                    [],
+                )
+            )
+
+        self.all_tabs = self.parent_tabs + [
+            tab for tile in self.tile_tabs for tab in tile
+        ]
+        # Worker w owns tiles w, w+W, w+2W, ...; per phase it executes
+        # all of its tiles' tabs on the shared state.
+        self.worker_tabs: List[List[List[_PhaseTab]]] = []
+        for w in range(workers):
+            owned = list(range(w, shards, workers))
+            self.worker_tabs.append(
+                [
+                    [self.tile_tabs[t][phase] for t in owned]
+                    for phase in range(len(tabs))
+                ]
+            )
+        self._procs: Optional[list] = None
+        self._conns: list = []
+
+    # -- worker pool -------------------------------------------------------------
+
+    def _ensure_pool(self) -> None:
+        if self._procs is not None or not self.workers:
+            return
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        shm_name = self.engine._shm.name
+        shape = self.engine._state.shape
+        self._procs = []
+        self._conns = []
+        for w in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_tile_worker_main,
+                args=(child_conn, shm_name, shape, self.worker_tabs[w]),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def advance(
+        self,
+        phase: int,
+        cycle: int,
+        events: Optional[List[tuple]],
+    ) -> None:
+        engine = self.engine
+        ptab = self.parent_tabs[phase]
+        # Gather the boundary/arrival/inject columns BEFORE any tile
+        # clears — all reads see the pre-phase state.
+        pvals = engine._state[:, ptab.gsrc]
+        if self.workers:
+            self._ensure_pool()
+            assert self._procs is not None
+            for conn in self._conns:
+                conn.send(phase)
+            for conn in self._conns:
+                conn.recv()
+        else:
+            for tile in range(self.shards):
+                tab = self.tile_tabs[tile][phase]
+                if not tab.empty:
+                    engine._apply_tab(
+                        tab, engine._state[:, tab.gsrc], cycle, events
+                    )
+        engine._apply_tab(ptab, pvals, cycle, events)
+
+    def merge_worker_counters(
+        self, lp: Any, lw: Any, fw: Any
+    ) -> None:
+        """Pull and fold the workers' accumulated counters."""
+        if self._procs is None:
+            return
+        for w, conn in enumerate(self._conns):
+            conn.send(_MSG_FLUSH)
+            payload = conn.recv()
+            flat = [
+                tab
+                for phase_tabs in self.worker_tabs[w]
+                for tab in phase_tabs
+            ]
+            for tab, (acc_p, acc_w, acc_f) in zip(flat, payload):
+                if tab.lidx.size:
+                    np.add.at(lp, tab.lidx, acc_p)
+                    np.add.at(lw, tab.lidx, acc_w)
+                if tab.fidx.size:
+                    np.add.at(fw, tab.fidx, acc_f)
+
+    def shutdown(self) -> None:
+        if self._procs is None:
+            return
+        for conn in self._conns:
+            try:
+                conn.send(_MSG_EXIT)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._procs = None
+        self._conns = []
+
+
+def _tile_worker_main(
+    conn: Any,
+    shm_name: str,
+    shape: Tuple[int, int],
+    phase_tabs: List[List[_PhaseTab]],
+) -> None:
+    """Worker loop: execute owned tile tabs on the shared state."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        state = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+        while True:
+            msg = conn.recv()
+            if msg == _MSG_EXIT:
+                break
+            if msg == _MSG_FLUSH:
+                out = []
+                for tabs in phase_tabs:
+                    for tab in tabs:
+                        out.append(
+                            (
+                                tab.acc_p.copy(),
+                                tab.acc_w.copy(),
+                                tab.acc_f.copy(),
+                            )
+                        )
+                        tab.acc_p[:] = 0
+                        tab.acc_w[:] = 0
+                        tab.acc_f[:] = 0
+                conn.send(out)
+                continue
+            for tab in phase_tabs[msg]:
+                if tab.empty:
+                    continue
+                vals = state[:, tab.gsrc]
+                mv = vals[:, : tab.n_mv]
+                wocc = mv[_VAL] != 0
+                occ = wocc | (mv[_CRED] != 0)
+                if tab.lpos.size:
+                    tab.acc_p += occ[tab.lpos]
+                    tab.acc_w += wocc[tab.lpos]
+                if tab.fpos.size:
+                    tab.acc_f += wocc[tab.fpos]
+                if tab.clear.size:
+                    state[:, tab.clear] = 0
+                if tab.n_mv:
+                    state[:, tab.dsts] = mv
+            conn.send(0)
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        shm.close()
