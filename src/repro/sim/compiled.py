@@ -49,6 +49,7 @@ transparently falls back to the activity mode for those cycles.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from math import lcm
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -75,6 +76,52 @@ _NEVER = 1 << 62
 #: Steady-state periods above this are not worth probing: the two probe
 #: epochs would dominate any realistic run length.
 MAX_REPLAY_PERIOD = 1 << 16
+
+#: Stable string names of the move-map op tags.  The introspection API
+#: (:meth:`CompiledEngine.lowered_artifacts`) speaks these so external
+#: verifiers never depend on the private integer encoding.
+OP_NAMES = {
+    _OP_MOVE: "move",
+    _OP_SEND: "send",
+    _OP_INJECT: "inject",
+    _OP_FORWARD: "forward",
+    _OP_ARRIVE: "arrive",
+}
+
+
+@dataclass(frozen=True)
+class LoweredOp:
+    """One phase-table op in the stable introspection form.
+
+    ``src`` is the register column the op consumes this phase; ``dsts``
+    are the columns it drives entering the next wheel phase (empty for
+    ``"arrive"``, which terminates the schedule walk); ``site`` names
+    the link/router/NI the op belongs to, for diagnostics only.
+    """
+
+    kind: str
+    src: int
+    dsts: Tuple[int, ...]
+    site: str
+
+
+@dataclass(frozen=True)
+class LoweredArtifacts:
+    """The compile products that staticcheck's op-table prover consumes.
+
+    This is the provability contract for data-plane substrates (see
+    DESIGN.md §13): a substrate is checkable by the OP rules iff it can
+    render its lowering as per-phase op tuples, the injection ``seeds``
+    — ``(register, phase)`` pairs driven from outside the table walk —
+    and the claimed ``occupancy`` bitmasks (bit ``p`` set iff the
+    column may hold a phit entering wheel phase ``p``).
+    """
+
+    wheel: int
+    register_names: Tuple[str, ...]
+    phase_ops: Tuple[Tuple[LoweredOp, ...], ...]
+    seeds: Tuple[Tuple[int, int], ...]
+    occupancy: Tuple[int, ...]
 
 
 def install_compile_provider(network: Any) -> None:
@@ -127,6 +174,26 @@ def install_refusing_provider(network: Any, detail: str) -> None:
         return CompileRefusal(CompileRefusal.UNSUPPORTED_COMPONENT, detail)
 
     network.kernel.compile_provider = provider
+
+
+def lower_network(network: Any) -> Any:
+    """Compile exactly what the kernel's provider would run, offline.
+
+    This is the entry point ``python -m repro.staticcheck --prove``
+    uses: the network's installed provider is consulted (so kernel-mode
+    preferences and every eligibility gate apply) and the result — an
+    engine exposing :meth:`CompiledEngine.lowered_artifacts`, or a
+    typed :class:`~repro.sim.kernel.CompileRefusal` — is returned
+    without being installed on the kernel.  Vector engines returned
+    here hold shard resources; ``close()`` them when done.
+    """
+    provider = network.kernel.compile_provider
+    if provider is None:
+        return CompileRefusal(
+            CompileRefusal.NO_PROVIDER,
+            "the network installed no compile provider",
+        )
+    return provider(network.kernel, None)
 
 
 def _schedule_token(network: Any) -> int:
@@ -227,15 +294,30 @@ def _check_eligibility(network: Any) -> Optional[CompileRefusal]:
     return None
 
 
-def _classify_components(network: Any) -> Any:
-    """Split the kernel roster into (generators, sink metadata).
+def _native_ids(network: Any) -> Set[int]:
+    """Identity set of the network's own fabric components."""
+    native: Set[int] = set()
+    for router in network.routers.values():
+        native.add(id(router))
+    for ni in network.nis.values():
+        native.add(id(ni))
+    native.add(id(network.config_module))
+    return native
 
-    Returns ``(gens, sinks)`` or a :class:`CompileRefusal` naming the
-    first component the compiler cannot flatten.  Generators must inject
-    through :class:`~repro.core.ni.ChannelInjector` and sinks must drain
-    through :class:`~repro.core.ni.ChannelReceiver` so the engine knows
-    which channel endpoint they touch; anything else (a shell, a random
-    generator, a plain lambda) keeps the network on the stepped kernels.
+
+def classify_component(
+    network: Any, component: Any, _native: Optional[Set[int]] = None
+) -> Any:
+    """Classify one kernel component for the compiled lowering.
+
+    Returns ``(kind, payload)`` with ``kind`` in ``{"native",
+    "generator", "sink"}`` — payload is ``None``, the generator itself,
+    or the sink metadata tuple — or a typed :class:`CompileRefusal`
+    naming why the component has no compiled model.  This total map is
+    the refusal-completeness contract staticcheck's OP004 rule audits:
+    every component on a kernel must land in exactly one bucket, and
+    anything unloweable must refuse with a declared kind rather than
+    raise or silently degrade.
     """
     from ..core.config_network import ConfigModule
     from ..core.ni import ChannelInjector, ChannelReceiver
@@ -246,58 +328,70 @@ def _classify_components(network: Any) -> Any:
     )
     from ..traffic.sinks import CheckingSink, DrainSink, ThrottledSink
 
-    native: Set[int] = set()
-    for router in network.routers.values():
-        native.add(id(router))
-    for ni in network.nis.values():
-        native.add(id(ni))
-    native.add(id(network.config_module))
+    native = _native if _native is not None else _native_ids(network)
+    if id(component) in native:
+        return "native", None
+    kind = type(component)
+    if kind in (CbrGenerator, BurstGenerator, TraceGenerator):
+        inject = component.inject
+        if not isinstance(inject, ChannelInjector):
+            return CompileRefusal(
+                CompileRefusal.UNSUPPORTED_COMPONENT,
+                f"generator {component.name!r} does not inject "
+                f"through a ChannelInjector",
+            )
+        return "generator", component
+    if kind in (DrainSink, ThrottledSink, CheckingSink):
+        receive = component.receive
+        if not isinstance(receive, ChannelReceiver):
+            return CompileRefusal(
+                CompileRefusal.UNSUPPORTED_COMPONENT,
+                f"sink {component.name!r} does not drain through "
+                f"a ChannelReceiver",
+            )
+        period = component.period if kind is ThrottledSink else 0
+        return "sink", (
+            component,
+            receive.ni,
+            receive.channel,
+            period,
+            kind is CheckingSink,
+        )
+    if isinstance(component, ConfigModule):
+        # A second config module would belong to another network.
+        return CompileRefusal(
+            CompileRefusal.UNSUPPORTED_COMPONENT,
+            f"foreign config module {component.name!r}",
+        )
+    return CompileRefusal(
+        CompileRefusal.UNSUPPORTED_COMPONENT,
+        f"component {component.name!r} "
+        f"({type(component).__name__}) has no compiled model",
+    )
 
+
+def _classify_components(network: Any) -> Any:
+    """Split the kernel roster into (generators, sink metadata).
+
+    Returns ``(gens, sinks)`` or a :class:`CompileRefusal` naming the
+    first component the compiler cannot flatten.  Generators must inject
+    through :class:`~repro.core.ni.ChannelInjector` and sinks must drain
+    through :class:`~repro.core.ni.ChannelReceiver` so the engine knows
+    which channel endpoint they touch; anything else (a shell, a random
+    generator, a plain lambda) keeps the network on the stepped kernels.
+    """
+    native = _native_ids(network)
     gens: List[Any] = []
     sinks: List[Tuple[Any, Any, int, int, bool]] = []
     for component in network.kernel.components:
-        if id(component) in native:
-            continue
-        kind = type(component)
-        if kind in (CbrGenerator, BurstGenerator, TraceGenerator):
-            inject = component.inject
-            if not isinstance(inject, ChannelInjector):
-                return CompileRefusal(
-                    CompileRefusal.UNSUPPORTED_COMPONENT,
-                    f"generator {component.name!r} does not inject "
-                    f"through a ChannelInjector",
-                )
-            gens.append(component)
-        elif kind in (DrainSink, ThrottledSink, CheckingSink):
-            receive = component.receive
-            if not isinstance(receive, ChannelReceiver):
-                return CompileRefusal(
-                    CompileRefusal.UNSUPPORTED_COMPONENT,
-                    f"sink {component.name!r} does not drain through "
-                    f"a ChannelReceiver",
-                )
-            period = component.period if kind is ThrottledSink else 0
-            sinks.append(
-                (
-                    component,
-                    receive.ni,
-                    receive.channel,
-                    period,
-                    kind is CheckingSink,
-                )
-            )
-        elif isinstance(component, ConfigModule):
-            # A second config module would belong to another network.
-            return CompileRefusal(
-                CompileRefusal.UNSUPPORTED_COMPONENT,
-                f"foreign config module {component.name!r}",
-            )
-        else:
-            return CompileRefusal(
-                CompileRefusal.UNSUPPORTED_COMPONENT,
-                f"component {component.name!r} "
-                f"({type(component).__name__}) has no compiled model",
-            )
+        classified = classify_component(network, component, native)
+        if isinstance(classified, CompileRefusal):
+            return classified
+        kind, payload = classified
+        if kind == "generator":
+            gens.append(payload)
+        elif kind == "sink":
+            sinks.append(payload)
     return gens, sinks
 
 
@@ -582,6 +676,57 @@ class CompiledEngine:
         self.counter_getters = getters
         self.counter_setters = setters
         self._cur: Dict[int, Phit] = {}
+
+    # -- introspection -----------------------------------------------------------
+
+    def lowered_artifacts(self) -> LoweredArtifacts:
+        """Export the compile products in the stable introspection form.
+
+        External verifiers (``repro.staticcheck --prove``) consume this
+        instead of the private ``move_map``/``inj_ops`` encoding; the
+        shape is documented on :class:`LoweredArtifacts`.
+        """
+        phases: List[Tuple[LoweredOp, ...]] = []
+        for phase in range(self.wheel):
+            ops: List[LoweredOp] = []
+            for rid, op in sorted(self.move_map[phase].items()):
+                tag = op[0]
+                if tag == _OP_ARRIVE:
+                    ops.append(
+                        LoweredOp(
+                            "arrive", rid, (), f"{op[1].name}.ch{op[2]}"
+                        )
+                    )
+                elif tag == _OP_FORWARD:
+                    ops.append(
+                        LoweredOp(
+                            "forward", rid, tuple(op[1]), op[2].name
+                        )
+                    )
+                elif tag == _OP_MOVE:
+                    ops.append(
+                        LoweredOp(
+                            "move", rid, (op[1],), self.regs[op[1]].name
+                        )
+                    )
+                else:  # send / inject carry their link at op[2]
+                    ops.append(
+                        LoweredOp(
+                            OP_NAMES[tag], rid, (op[1],), op[2].name
+                        )
+                    )
+            phases.append(tuple(ops))
+        seeds: List[Tuple[int, int]] = []
+        for phase, inj in enumerate(self.inj_ops):
+            for _ni, _channel, stage_rid, _collect in inj:
+                seeds.append((stage_rid, (phase + 1) % self.wheel))
+        return LoweredArtifacts(
+            wheel=self.wheel,
+            register_names=tuple(reg.name for reg in self.regs),
+            phase_ops=tuple(phases),
+            seeds=tuple(seeds),
+            occupancy=tuple(self.occupancy),
+        )
 
     # -- kernel-facing lifecycle ------------------------------------------------
 

@@ -54,7 +54,11 @@ degrades vector -> compiled -> activity.
 
 from __future__ import annotations
 
+# staticcheck: numpy-hot-path -- int64-closed dense state; see NP rules
+
+import operator
 import os
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 try:  # numpy is a hard dependency of the repo, but vector mode degrades
@@ -76,6 +80,7 @@ from .compiled import (
     CompiledEngine,
     compile_network,
 )
+from ..errors import DataRaceError
 from .flit import Phit, Word
 from .kernel import CompileRefusal
 from .stats import FAULT_DETECTED
@@ -85,6 +90,14 @@ VECTOR_SHARDS_ENV = "REPRO_VECTOR_SHARDS"
 #: Environment variable: worker processes executing the tiles (0 = the
 #: tiles run serially in-process; capped at the shard count).
 VECTOR_WORKERS_ENV = "REPRO_VECTOR_WORKERS"
+#: Environment variable: arm the TSan-style runtime race detector.  Any
+#: value other than empty/0/false/no/off enables write-set shadow
+#: tracking on every clear/scatter/gather of the data plane; a
+#: conflicting same-cycle access raises
+#: :class:`~repro.errors.DataRaceError`.  Detection forces the tiles
+#: in-process (workers=0) — results stay bit-identical either way, the
+#: worker pool being a pure reordering of the same disjoint writes.
+VECTOR_RACE_CHECK_ENV = "REPRO_VECTOR_RACE_CHECK"
 
 # State-plane indices of the dense (6, R) register matrix.
 _PAY, _SEQ, _CID, _PAR, _CRED, _VAL = range(6)
@@ -177,6 +190,187 @@ class _PhaseTab:
         self.empty = not (srcs or asrc or clear)
 
 
+@dataclass(frozen=True)
+class PhaseTabView:
+    """Read-only view of one lowered phase tab (introspection API).
+
+    ``owner`` is ``"combined"`` (the unsharded tab), ``"parent"`` (the
+    boundary tab that runs after every tile) or ``"tile:<k>"``.  All
+    index tuples are register column ids.  ``sources[i]`` feeds
+    ``scatter[i]`` — the movement pairs; ``inject_positions`` are
+    positions *into that pair list* whose movement records an
+    injection; ``arrival_sources`` are gathered but delivered to
+    channel queues instead of scattered; ``clear`` is every column this
+    tab zeroes before scattering.
+    """
+
+    owner: str
+    phase: int
+    sources: Tuple[int, ...]
+    arrival_sources: Tuple[int, ...]
+    scatter: Tuple[int, ...]
+    clear: Tuple[int, ...]
+    inject_positions: Tuple[int, ...]
+
+    @property
+    def gather(self) -> Tuple[int, ...]:
+        """Every column this tab reads, in gather order."""
+        return self.sources + self.arrival_sources
+
+    @property
+    def writes(self) -> Tuple[int, ...]:
+        """Every column this tab writes (clears, then scatters)."""
+        return self.clear + self.scatter
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """The movement pairs ``(source, destination)``."""
+        return tuple(zip(self.sources, self.scatter))
+
+
+@dataclass(frozen=True)
+class PhaseRound:
+    """One wheel phase's execution units under the shard plan.
+
+    ``tiles``/``parent`` are empty/None when the engine is unsharded;
+    ``combined`` is always the reference unsharded tab, which the
+    sharded units must decompose exactly (staticcheck's RS002).
+    """
+
+    phase: int
+    combined: PhaseTabView
+    tiles: Tuple[PhaseTabView, ...]
+    parent: Optional[PhaseTabView]
+
+
+@dataclass(frozen=True)
+class VectorArtifacts:
+    """The numpy lowering's compile products for the shard race prover.
+
+    A substrate is provable by staticcheck's RS rules iff it exposes
+    this view: the contiguous register ``tile_bounds`` (``[lo, hi)``
+    per tile), and per wheel phase the concurrent tile tabs plus the
+    ordered parent tab, each as a :class:`PhaseTabView`.
+    """
+
+    wheel: int
+    n_registers: int
+    register_names: Tuple[str, ...]
+    shards: int
+    workers: int
+    tile_bounds: Tuple[Tuple[int, int], ...]
+    rounds: Tuple[PhaseRound, ...]
+
+
+def _tab_view(tab: "_PhaseTab", phase: int, owner: str) -> PhaseTabView:
+    """Snapshot a :class:`_PhaseTab`'s index arrays as plain tuples."""
+    gather = tuple(tab.gsrc.tolist())
+    n_mv = tab.n_mv
+    return PhaseTabView(
+        owner=owner,
+        phase=phase,
+        sources=gather[:n_mv],
+        arrival_sources=gather[n_mv:],
+        scatter=tuple(tab.dsts.tolist()),
+        clear=tuple(tab.clear.tolist()),
+        inject_positions=tuple(tab.ipos.tolist()),
+    )
+
+
+class _RaceShadow:
+    """TSan-style shadow state for the runtime race detector.
+
+    Tracks, per state column, the last cycle it was consumed (cleared)
+    and produced (scattered) and by which execution unit (``PARENT`` =
+    the unsharded tab or the parent tab, which runs strictly after
+    every tile; tiles are ``0..shards-1`` and logically concurrent).
+    The legal same-cycle access pattern — the one staticcheck's RS
+    rules prove — is: every gather precedes any conflicting unit's
+    writes, each column is cleared at most once and produced at most
+    once, and only the parent may produce a column a tile cleared
+    (their execution order is fixed).  Anything else raises
+    :class:`~repro.errors.DataRaceError`.  The NI injection staging
+    writes at the end of each cycle are excluded by construction:
+    stage columns are only ever driven by the injection path itself.
+    """
+
+    PARENT = -1
+
+    def __init__(self, n_regs: int) -> None:
+        self.consumed = np.full(n_regs, -1, dtype=np.int64)
+        self.consumer = np.zeros(n_regs, dtype=np.int64)
+        self.produced = np.full(n_regs, -1, dtype=np.int64)
+        self.producer = np.zeros(n_regs, dtype=np.int64)
+
+    def _blame(self, cols: Any, bad: Any, cycle: int, unit: int) -> str:
+        col = int(cols[bad][0])
+        other = (
+            int(self.consumer[col])
+            if int(self.consumed[col]) == cycle
+            else int(self.producer[col])
+        )
+        who = "parent" if unit == self.PARENT else f"tile {unit}"
+        them = "parent" if other == self.PARENT else f"tile {other}"
+        return f"column {col} in cycle {cycle} ({who} vs {them})"
+
+    def note_gather(self, cols: Any, cycle: int, unit: int) -> None:
+        if not cols.size:
+            return
+        conflict = (
+            (self.consumed.take(cols) == cycle)
+            & (self.consumer.take(cols) != unit)
+        ) | (
+            (self.produced.take(cols) == cycle)
+            & (self.producer.take(cols) != unit)
+        )
+        if conflict.any():
+            raise DataRaceError(
+                "vector race: gather overlaps an unordered write of "
+                + self._blame(cols, conflict, cycle, unit)
+            )
+
+    def note_clear(self, cols: Any, cycle: int, unit: int) -> None:
+        if not cols.size:
+            return
+        dup = self.consumed.take(cols) == cycle
+        if dup.any():
+            raise DataRaceError(
+                "vector race: duplicate clear of "
+                + self._blame(cols, dup, cycle, unit)
+            )
+        late = self.produced.take(cols) == cycle
+        if late.any():
+            raise DataRaceError(
+                "vector race: clear of a freshly produced "
+                + self._blame(cols, late, cycle, unit)
+            )
+        self.consumed[cols] = cycle
+        self.consumer[cols] = unit
+
+    def note_scatter(self, cols: Any, cycle: int, unit: int) -> None:
+        if not cols.size:
+            return
+        dup = self.produced.take(cols) == cycle
+        if dup.any():
+            raise DataRaceError(
+                "vector race: double drive of "
+                + self._blame(cols, dup, cycle, unit)
+            )
+        if unit != self.PARENT:
+            # A tile producing a column any other unit cleared this
+            # cycle is unordered; the parent is ordered after tiles.
+            foreign = (self.consumed.take(cols) == cycle) & (
+                self.consumer.take(cols) != unit
+            )
+            if foreign.any():
+                raise DataRaceError(
+                    "vector race: unordered produce-after-clear of "
+                    + self._blame(cols, foreign, cycle, unit)
+                )
+        self.produced[cols] = cycle
+        self.producer[cols] = unit
+
+
 def compile_vector_network(network: Any, token: int) -> Any:
     """Lower ``network`` into a :class:`VectorEngine` (or refuse, typed).
 
@@ -200,20 +394,39 @@ def compile_vector_network(network: Any, token: int) -> Any:
     return result
 
 
+def _race_check_enabled(network: Any) -> bool:
+    """Resolve the race-detector knob (attribute, then environment)."""
+    flag = getattr(network, "vector_race_check", None)
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(VECTOR_RACE_CHECK_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
 def _shard_config(network: Any, n_regs: int) -> Any:
-    """Resolve (shards, workers) from network attributes / environment."""
+    """Resolve (shards, workers) from network attributes / environment.
+
+    Malformed values never escape this function as exceptions: every
+    parse failure — a non-numeric string, a float (which ``int()``
+    would silently truncate, or overflow on for infinities), any
+    non-index type — becomes a typed ``unsupported_params`` refusal so
+    the degradation chain engages and ``kernel_stats()`` records the
+    reason in *all* paths, attribute- and environment-sourced alike.
+    """
+
+    def knob(attr: str, env: str, default: int) -> int:
+        value = getattr(network, attr, None)
+        if value is None:
+            raw = os.environ.get(env, "").strip()
+            if not raw:
+                return default
+            return int(raw)
+        return operator.index(value)
+
     try:
-        shards = getattr(network, "vector_shards", None)
-        if shards is None:
-            raw = os.environ.get(VECTOR_SHARDS_ENV, "").strip()
-            shards = int(raw) if raw else 1
-        workers = getattr(network, "vector_workers", None)
-        if workers is None:
-            raw = os.environ.get(VECTOR_WORKERS_ENV, "").strip()
-            workers = int(raw) if raw else 0
-        shards = int(shards)
-        workers = int(workers)
-    except (TypeError, ValueError) as exc:
+        shards = knob("vector_shards", VECTOR_SHARDS_ENV, 1)
+        workers = knob("vector_workers", VECTOR_WORKERS_ENV, 0)
+    except (TypeError, ValueError, OverflowError) as exc:
         return CompileRefusal(
             CompileRefusal.UNSUPPORTED_PARAMS,
             f"invalid vector shard/worker setting: {exc}",
@@ -253,6 +466,16 @@ class VectorEngine(CompiledEngine):
         if isinstance(config, CompileRefusal):
             return config
         shards, workers = config
+        self._race: Optional[_RaceShadow] = None
+        if _race_check_enabled(self.network):
+            # Tile tabs are compile-time fixed, so the serial tile
+            # order observes the same access pattern the worker pool
+            # would execute; forcing the tiles in-process keeps the
+            # detector's shadow coherent and the results bit-identical.
+            workers = 0
+            self._race = _RaceShadow(len(self.regs))
+        self._shards = shards
+        self._workers = workers
 
         self._conn_ids: Dict[str, int] = {}
         self._conn_names: List[str] = []
@@ -368,6 +591,53 @@ class VectorEngine(CompiledEngine):
         )
         return _PhaseTab(
             srcs, dsts, lpos, lidx, fpos, fidx, ipos, asrc, ameta, clear
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def vector_artifacts(self) -> VectorArtifacts:
+        """Export the numpy lowering in the stable introspection form.
+
+        The shard race prover (``repro.staticcheck --prove``) consumes
+        this instead of the private ``_PhaseTab``/``_ShardPlan``
+        encoding; the shape is documented on :class:`VectorArtifacts`.
+        """
+        n_regs = len(self.regs)
+        shards = self._shards
+        bounds = tuple(
+            (
+                (t * n_regs + shards - 1) // shards,
+                ((t + 1) * n_regs + shards - 1) // shards,
+            )
+            for t in range(shards)
+        )
+        rounds: List[PhaseRound] = []
+        plan = self._plan
+        for phase in range(self.wheel):
+            combined = _tab_view(self._tabs[phase], phase, "combined")
+            if plan is None:
+                rounds.append(PhaseRound(phase, combined, (), None))
+            else:
+                tiles = tuple(
+                    _tab_view(
+                        plan.tile_tabs[t][phase], phase, f"tile:{t}"
+                    )
+                    for t in range(shards)
+                )
+                parent = _tab_view(
+                    plan.parent_tabs[phase], phase, "parent"
+                )
+                rounds.append(
+                    PhaseRound(phase, combined, tiles, parent)
+                )
+        return VectorArtifacts(
+            wheel=self.wheel,
+            n_registers=n_regs,
+            register_names=tuple(reg.name for reg in self.regs),
+            shards=shards,
+            workers=self._workers,
+            tile_bounds=bounds,
+            rounds=tuple(rounds),
         )
 
     # -- lifecycle ---------------------------------------------------------------
@@ -509,12 +779,20 @@ class VectorEngine(CompiledEngine):
         vals: Any,
         cycle: int,
         events: Optional[List[tuple]],
+        unit: int = _RaceShadow.PARENT,
     ) -> None:
         """Counters, clear, scatter, records and arrivals of one tab.
 
         ``vals`` is the (copied) gather of ``tab.gsrc`` taken *before*
-        any column owned by this phase was cleared.
+        any column owned by this phase was cleared.  ``unit`` labels
+        the executing shard unit for the race detector (gathers are
+        noted at the actual gather sites, since the parent's happens
+        strictly earlier than its apply).
         """
+        race = self._race
+        if race is not None:
+            race.note_clear(tab.clear, cycle, unit)
+            race.note_scatter(tab.dsts, cycle, unit)
         state = self._state
         n_mv = tab.n_mv
         mv = vals[:, :n_mv]
@@ -771,6 +1049,10 @@ class VectorEngine(CompiledEngine):
                 if plan is None:
                     tab = tabs[phase]
                     if not tab.empty:
+                        if self._race is not None:
+                            self._race.note_gather(
+                                tab.gsrc, cycle, _RaceShadow.PARENT
+                            )
                         self._apply_tab(
                             tab,
                             state.take(tab.gsrc, axis=1),
@@ -1276,9 +1558,12 @@ class _ShardPlan:
         events: Optional[List[tuple]],
     ) -> None:
         engine = self.engine
+        race = engine._race
         ptab = self.parent_tabs[phase]
         # Gather the boundary/arrival/inject columns BEFORE any tile
         # clears — all reads see the pre-phase state.
+        if race is not None:
+            race.note_gather(ptab.gsrc, cycle, _RaceShadow.PARENT)
         pvals = engine._state[:, ptab.gsrc]
         if self.workers:
             self._ensure_pool()
@@ -1291,10 +1576,18 @@ class _ShardPlan:
             for tile in range(self.shards):
                 tab = self.tile_tabs[tile][phase]
                 if not tab.empty:
+                    if race is not None:
+                        race.note_gather(tab.gsrc, cycle, tile)
                     engine._apply_tab(
-                        tab, engine._state[:, tab.gsrc], cycle, events
+                        tab,
+                        engine._state[:, tab.gsrc],
+                        cycle,
+                        events,
+                        unit=tile,
                     )
-        engine._apply_tab(ptab, pvals, cycle, events)
+        engine._apply_tab(
+            ptab, pvals, cycle, events, unit=_RaceShadow.PARENT
+        )
 
     def merge_worker_counters(
         self, lp: Any, lw: Any, fw: Any

@@ -12,12 +12,25 @@ on convention:
 * the **schedule model-checker** (:mod:`repro.staticcheck.schedule`) —
   re-derives, hop by hop, the slot-table state a configured network
   must hold from its live allocation handles and compares cell by cell
-  (rules ``SC...``).
+  (rules ``SC...``);
+* the **data-plane provers** — the op-table verifier
+  (:mod:`repro.staticcheck.optable`, rules ``OP...``) re-walks the
+  compiled kernel's lowered artifacts from the injection seeds and
+  proves single-writer / single-consumer / occupancy-exact / typed
+  refusal, and the shard race prover
+  (:mod:`repro.staticcheck.races`, rules ``RS...``) proves the vector
+  kernel's concurrent tile write-sets disjoint and parent-ordered.
+  ``python -m repro.staticcheck --prove`` runs both over a
+  representative network matrix (:mod:`repro.staticcheck.prove`);
+* the **numpy hot-path lints** (:mod:`repro.staticcheck.numpy_rules`,
+  rules ``NP...``) — int64-domain discipline for files opting in with
+  ``# staticcheck: numpy-hot-path``.
 
 Run the file rules with ``python -m repro.staticcheck [paths]``; call
 :func:`verify_network_state` from tests and examples after configuring
-a network.  The dynamic counterpart of the auditor is the kernel's
-``strict_registers`` mode (:class:`repro.sim.kernel.Kernel`).
+a network.  The dynamic counterparts are the kernel's
+``strict_registers`` mode (:class:`repro.sim.kernel.Kernel`) and the
+vector kernel's runtime race detector (``REPRO_VECTOR_RACE_CHECK``).
 """
 
 from .cli import check_paths, iter_source_files, main
@@ -29,6 +42,22 @@ from .findings import (
     SuppressionIndex,
     sort_findings,
 )
+from .numpy_rules import HOT_PATH_MARKER
+from .optable import (
+    ARTIFACTS_FILE,
+    verify_components,
+    verify_op_tables,
+    verify_refusal,
+)
+from .prove import (
+    ProveCase,
+    build_aelite_case,
+    build_daelite_case,
+    default_prove_cases,
+    prove_network,
+    run_prove,
+)
+from .races import PLAN_FILE, verify_shard_plan
 from .registry import FileContext, Rule, all_rules, run_file_rules
 from .schedule import (
     check_aelite_state,
@@ -37,9 +66,13 @@ from .schedule import (
 )
 
 __all__ = [
+    "ARTIFACTS_FILE",
     "ClassTable",
     "FileContext",
     "Finding",
+    "HOT_PATH_MARKER",
+    "PLAN_FILE",
+    "ProveCase",
     "Rule",
     "Severity",
     "Suppression",
@@ -47,12 +80,21 @@ __all__ = [
     "all_rules",
     "audit_component",
     "audit_contracts",
+    "build_aelite_case",
+    "build_daelite_case",
     "check_aelite_state",
     "check_daelite_state",
     "check_paths",
+    "default_prove_cases",
     "iter_source_files",
     "main",
+    "prove_network",
     "run_file_rules",
+    "run_prove",
     "sort_findings",
+    "verify_components",
     "verify_network_state",
+    "verify_op_tables",
+    "verify_refusal",
+    "verify_shard_plan",
 ]

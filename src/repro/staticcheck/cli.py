@@ -21,6 +21,13 @@ from .contract import audit_contracts
 from .findings import Finding, sort_findings
 from .registry import FileContext, all_rules, run_file_rules
 
+# Imported for their registration side effects: the numpy hot-path
+# rules (NP...) run as file rules, the op-table (OP...) and shard-race
+# (RS...) provers run from --prove; all appear in --list-rules.
+from . import numpy_rules as _numpy_rules  # noqa: F401
+from . import optable as _optable  # noqa: F401
+from . import races as _races  # noqa: F401
+
 
 def iter_source_files(paths: Sequence[str]) -> List[str]:
     """All ``.py`` files under ``paths`` (files pass through verbatim).
@@ -76,7 +83,33 @@ def check_paths(
 
 def _default_paths() -> List[str]:
     package_root = os.path.dirname(os.path.dirname(__file__))
-    return [package_root]
+    paths = [package_root]
+    # In a source checkout the examples ride along in the default
+    # audit, so new sim/ consumers cannot escape it; an installed
+    # package has no examples directory and skips this.
+    repo_root = os.path.dirname(os.path.dirname(package_root))
+    examples = os.path.join(repo_root, "examples")
+    if os.path.isdir(examples):
+        paths.append(examples)
+    return paths
+
+
+def _parse_prove_sizes(
+    values: Optional[Sequence[str]],
+) -> Optional[List[int]]:
+    """``["3", "8x8"]`` -> ``[3, 8]``; ``None`` means every size."""
+    if not values:
+        return None
+    sizes: List[int] = []
+    for value in values:
+        side = value.strip().lower().split("x")[0]
+        try:
+            sizes.append(int(side))
+        except ValueError:
+            raise StaticCheckError(
+                f"invalid --prove-size: {value!r} (want N or NxN)"
+            )
+    return sizes
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -108,6 +141,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--prove",
+        action="store_true",
+        help="build the representative network matrix, lower it and "
+        "run the op-table (OP...) and shard-race (RS...) provers "
+        "instead of the file rules",
+    )
+    parser.add_argument(
+        "--prove-size",
+        action="append",
+        metavar="N",
+        help="restrict --prove to meshes of side N (NxN also "
+        "accepted; repeatable)",
+    )
     options = parser.parse_args(argv)
 
     if options.list_rules:
@@ -124,16 +171,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if options.rules
         else None
     )
-    paths = list(options.paths) or _default_paths()
-    try:
-        findings = check_paths(
-            paths,
-            only=only,
-            respect_suppressions=not options.no_suppressions,
-        )
-    except StaticCheckError as error:
-        print(f"staticcheck: error: {error}", file=sys.stderr)
-        return 2
+    if options.prove:
+        from .prove import run_prove
+
+        try:
+            sizes = _parse_prove_sizes(options.prove_size)
+            findings = run_prove(
+                sizes=sizes,
+                report=lambda line: print(line, file=sys.stderr),
+            )
+        except StaticCheckError as error:
+            print(f"staticcheck: error: {error}", file=sys.stderr)
+            return 2
+    else:
+        paths = list(options.paths) or _default_paths()
+        try:
+            findings = check_paths(
+                paths,
+                only=only,
+                respect_suppressions=not options.no_suppressions,
+            )
+        except StaticCheckError as error:
+            print(f"staticcheck: error: {error}", file=sys.stderr)
+            return 2
 
     for finding in findings:
         print(finding.render())

@@ -1,0 +1,310 @@
+"""Shard race prover: disjoint-writes proof for the vector plan (RS).
+
+The sharded vector engine splits each wheel phase into concurrent
+*tile* tabs plus one ordered *parent* tab (gathers before the tiles
+run, applies after they finish).  Its bit-exactness rests on a
+disjoint-writes ordering argument that used to live in prose; this
+module proves it mechanically from the
+:class:`~repro.sim.vector.VectorArtifacts` introspection form, for the
+concrete ``(shards, mesh, schedule)`` configuration at hand:
+
+``RS001`` overlapping tile write-sets — two concurrent tiles write
+(clear or scatter) one column, or one tab scatters a column twice;
+the outcome depends on execution order.
+``RS002`` boundary ownership / exchange-set integrity — a tile tab
+holds a boundary-crossing pair, an arrival, an injection record, or a
+clear outside its register range (all of those are parent-owned), or
+the units' pairs/clears/arrivals do not recompose exactly into the
+unsharded reference tab (a mutated exchange set: dropped or
+duplicated work).
+``RS003`` happens-before violation — a tile gathers a column another
+concurrent tile writes (tiles are unordered among themselves), or the
+parent and a tile both scatter one column (the parent's ordering
+cannot linearize two produces).
+
+Legal by the execution order, and deliberately *not* flagged: the
+parent gathering anything (it reads before every tile write) and the
+parent scattering a column a tile cleared (crossing-pair destinations
+— the parent applies strictly last).
+
+These rules run against live compile products; like the SC schedule
+rules they appear in ``--list-rules`` but are invoked through
+:func:`verify_shard_plan`, chiefly by ``repro.staticcheck --prove``.
+The runtime race detector (``REPRO_VECTOR_RACE_CHECK``) enforces the
+same model dynamically, for differential validation of this prover.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Set, Tuple
+
+from .findings import Finding, Severity, sort_findings
+from .registry import Rule, register
+
+#: Pseudo-path used for shard-plan findings (there is no source file).
+PLAN_FILE = "<shard-plan>"
+
+RS_RULES: Tuple[Rule, ...] = (
+    Rule(
+        rule_id="RS001",
+        title="overlapping-tile-writes",
+        description=(
+            "two concurrent tile tabs write one state column (or one "
+            "tab scatters it twice) — the result depends on "
+            "execution order"
+        ),
+        severity=Severity.ERROR,
+        kind="prove",
+    ),
+    Rule(
+        rule_id="RS002",
+        title="boundary-ownership",
+        description=(
+            "a tile tab holds parent-owned work (crossing pair, "
+            "arrival, injection record, foreign clear) or the shard "
+            "decomposition does not recompose into the unsharded tab"
+        ),
+        severity=Severity.ERROR,
+        kind="prove",
+    ),
+    Rule(
+        rule_id="RS003",
+        title="happens-before-violation",
+        description=(
+            "a tile gathers a column a concurrent tile writes, or "
+            "parent and tile both scatter one column — no execution "
+            "order makes the accesses race-free"
+        ),
+        severity=Severity.ERROR,
+        kind="prove",
+    ),
+)
+
+for _rs in RS_RULES:
+    register(_rs)
+
+
+def _pair_multiset(view: Any) -> Counter:
+    """Movement pairs of a tab, injection records tagged distinctly."""
+    inject = set(view.inject_positions)
+    return Counter(
+        (src, dst, pos in inject)
+        for pos, (src, dst) in enumerate(view.pairs)
+    )
+
+
+def verify_shard_plan(
+    artifacts: Any, origin: str = PLAN_FILE
+) -> List[Finding]:
+    """Prove RS001–RS003 over one engine's vector artifacts.
+
+    An empty return is a proof that, for this exact configuration,
+    concurrent tile write-sets are pairwise disjoint, every boundary
+    crossing is parent-owned, the decomposition loses and duplicates
+    nothing versus the unsharded reference tab, and the fixed
+    gather-tiles-parent execution order serializes every remaining
+    access pair.  Unsharded artifacts (no plan) are trivially clean.
+    """
+    findings: List[Finding] = []
+    names = artifacts.register_names
+
+    def bad(rule: str, phase: int, message: str, hint: str) -> None:
+        findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                file=origin,
+                line=0,
+                message=f"wheel phase {phase}: {message}",
+                hint=hint,
+            )
+        )
+
+    def name(rid: int) -> str:
+        if 0 <= rid < len(names):
+            return repr(names[rid])
+        return f"#{rid}"
+
+    bounds = artifacts.tile_bounds
+
+    def tile_of(rid: int) -> int:
+        for tile, (lo, hi) in enumerate(bounds):
+            if lo <= rid < hi:
+                return tile
+        return -1
+
+    for rnd in artifacts.rounds:
+        if not rnd.tiles and rnd.parent is None:
+            continue  # unsharded: nothing concurrent to prove
+        phase = rnd.phase
+        parent = rnd.parent
+        tiles = rnd.tiles
+
+        # Per-unit write sets; duplicates within one tab's scatter are
+        # a double drive no ordering can fix.
+        tile_writes: List[Set[int]] = []
+        for index, tile in enumerate(tiles):
+            scatter_counts = Counter(tile.scatter)
+            for rid, count in scatter_counts.items():
+                if count > 1:
+                    bad(
+                        "RS001",
+                        phase,
+                        f"tile {index} scatters {name(rid)} "
+                        f"{count} times",
+                        "deduplicate the tab's destination columns",
+                    )
+            tile_writes.append(set(tile.clear) | set(tile.scatter))
+
+        # RS001: concurrent tile write-sets must be pairwise disjoint.
+        for a in range(len(tiles)):
+            for b in range(a + 1, len(tiles)):
+                overlap = tile_writes[a] & tile_writes[b]
+                for rid in sorted(overlap):
+                    bad(
+                        "RS001",
+                        phase,
+                        f"tiles {a} and {b} both write {name(rid)}",
+                        "route the conflicting pair through the "
+                        "parent tab",
+                    )
+
+        # RS002: every tile's work must be tile-local; arrivals and
+        # injection records belong to the parent.
+        for index, tile in enumerate(tiles):
+            for src, dst in tile.pairs:
+                if tile_of(src) != index or tile_of(dst) != index:
+                    bad(
+                        "RS002",
+                        phase,
+                        f"tile {index} owns boundary-crossing pair "
+                        f"{name(src)} -> {name(dst)}",
+                        "crossing pairs execute in the parent tab",
+                    )
+            if tile.arrival_sources:
+                bad(
+                    "RS002",
+                    phase,
+                    f"tile {index} holds {len(tile.arrival_sources)} "
+                    f"arrival(s) — arrivals are parent-owned",
+                    "move arrivals to the parent tab",
+                )
+            if tile.inject_positions:
+                bad(
+                    "RS002",
+                    phase,
+                    f"tile {index} records injections — injection "
+                    f"bookkeeping is parent-owned",
+                    "move injection records to the parent tab",
+                )
+            for rid in tile.clear:
+                if tile_of(rid) != index:
+                    bad(
+                        "RS002",
+                        phase,
+                        f"tile {index} clears {name(rid)}, owned by "
+                        f"tile {tile_of(rid)}",
+                        "each column is cleared by its owning tile",
+                    )
+        if parent is not None and parent.clear:
+            bad(
+                "RS002",
+                phase,
+                f"the parent tab clears {len(parent.clear)} "
+                f"column(s) — clears are tile-owned",
+                "let the owning tiles clear; the parent only "
+                "scatters",
+            )
+
+        # RS002: exchange-set integrity — the units must recompose the
+        # unsharded reference tab exactly (no dropped, no duplicated
+        # work).
+        want_pairs = _pair_multiset(rnd.combined)
+        have_pairs: Counter = Counter()
+        for tile in tiles:
+            have_pairs.update(_pair_multiset(tile))
+        if parent is not None:
+            have_pairs.update(_pair_multiset(parent))
+        for src, dst, inject in sorted(want_pairs - have_pairs):
+            bad(
+                "RS002",
+                phase,
+                f"the decomposition drops pair {name(src)} -> "
+                f"{name(dst)}{' (injection)' if inject else ''}",
+                "a mutated exchange set loses words; re-derive the "
+                "split from the unsharded tab",
+            )
+        for src, dst, inject in sorted(have_pairs - want_pairs):
+            bad(
+                "RS002",
+                phase,
+                f"the decomposition adds pair {name(src)} -> "
+                f"{name(dst)}{' (injection)' if inject else ''} the "
+                f"unsharded tab does not execute",
+                "a mutated exchange set duplicates words; re-derive "
+                "the split from the unsharded tab",
+            )
+        want_clear = Counter(rnd.combined.clear)
+        have_clear: Counter = Counter()
+        for tile in tiles:
+            have_clear.update(tile.clear)
+        if parent is not None:
+            have_clear.update(parent.clear)
+        for rid in sorted(want_clear - have_clear):
+            bad(
+                "RS002",
+                phase,
+                f"no unit clears occupied column {name(rid)}",
+                "every occupied column must be cleared exactly once",
+            )
+        for rid in sorted(have_clear - want_clear):
+            bad(
+                "RS002",
+                phase,
+                f"{name(rid)} is cleared more often than the "
+                f"unsharded tab clears it",
+                "every occupied column must be cleared exactly once",
+            )
+        want_arr = Counter(rnd.combined.arrival_sources)
+        have_arr = Counter(parent.arrival_sources if parent else ())
+        if want_arr != have_arr:
+            bad(
+                "RS002",
+                phase,
+                "the parent's arrival set differs from the unsharded "
+                "tab's",
+                "arrivals must move to the parent verbatim",
+            )
+
+        # RS003: happens-before over the fixed order (parent gathers,
+        # tiles run concurrently, parent applies last).
+        for index, tile in enumerate(tiles):
+            reads = set(tile.gather)
+            for other in range(len(tiles)):
+                if other == index:
+                    continue
+                racy = reads & tile_writes[other]
+                for rid in sorted(racy):
+                    bad(
+                        "RS003",
+                        phase,
+                        f"tile {index} gathers {name(rid)} while "
+                        f"concurrent tile {other} writes it",
+                        "order the access through the parent tab",
+                    )
+        if parent is not None:
+            pscatter = set(parent.scatter)
+            for index, tile in enumerate(tiles):
+                both = pscatter & set(tile.scatter)
+                for rid in sorted(both):
+                    bad(
+                        "RS003",
+                        phase,
+                        f"parent and tile {index} both scatter "
+                        f"{name(rid)} — two produces cannot be "
+                        f"serialized",
+                        "exactly one unit may drive a column per "
+                        "phase",
+                    )
+    return sort_findings(findings)

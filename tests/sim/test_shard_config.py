@@ -1,0 +1,85 @@
+"""Malformed shard/worker knobs: the typed degradation regression.
+
+Every parse failure — attribute- or environment-sourced, string or
+float or infinity — must surface as a typed ``unsupported_params``
+refusal recorded in ``kernel_stats()``, with the run served bit-exactly
+by the compiled interpreter, never as an uncaught exception and never
+as a silently truncated value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import CompileRefusal
+from repro.sim.vector import (
+    VECTOR_SHARDS_ENV,
+    VECTOR_WORKERS_ENV,
+)
+
+from .test_vector_equivalence import (
+    run_chunked_differential,
+    steady_scenario,
+)
+
+pytestmark = pytest.mark.differential
+
+
+def assert_degraded_typed(net):
+    stats = net.kernel.kernel_stats()
+    fallbacks = stats["compile_fallbacks"]
+    assert fallbacks.get(CompileRefusal.UNSUPPORTED_PARAMS, 0) > 0
+    assert stats["last_refusal"] == CompileRefusal.UNSUPPORTED_PARAMS
+    assert "invalid vector shard/worker setting" in stats[
+        "last_refusal_detail"
+    ]
+    # The compiled interpreter picked the run up bit-exactly.
+    assert stats["compiled_cycles"] > 0
+
+
+@pytest.mark.parametrize(
+    "value",
+    [float("inf"), float("nan"), 2.5, "three", object()],
+    ids=["inf", "nan", "truncating-float", "string", "object"],
+)
+def test_malformed_shards_attribute_degrades_typed(value):
+    net = run_chunked_differential(
+        steady_scenario(), vector_shards=value
+    )
+    assert_degraded_typed(net)
+
+
+def test_malformed_workers_attribute_degrades_typed():
+    net = run_chunked_differential(
+        steady_scenario(), vector_shards=2, vector_workers=1.5
+    )
+    assert_degraded_typed(net)
+
+
+@pytest.mark.parametrize(
+    "env,raw",
+    [
+        (VECTOR_SHARDS_ENV, "three"),
+        (VECTOR_SHARDS_ENV, "2.5"),
+        (VECTOR_SHARDS_ENV, "1e9"),
+        (VECTOR_WORKERS_ENV, "many"),
+    ],
+    ids=["shards-word", "shards-float", "shards-exp", "workers-word"],
+)
+def test_malformed_environment_degrades_typed(monkeypatch, env, raw):
+    monkeypatch.setenv(env, raw)
+    net = run_chunked_differential(steady_scenario())
+    assert_degraded_typed(net)
+
+
+def test_well_formed_environment_still_shards(monkeypatch):
+    monkeypatch.setenv(VECTOR_SHARDS_ENV, " 2 ")
+    net = run_chunked_differential(steady_scenario())
+    stats = net.kernel.kernel_stats()
+    assert (
+        stats["compile_fallbacks"].get(
+            CompileRefusal.UNSUPPORTED_PARAMS, 0
+        )
+        == 0
+    )
+    assert stats["compiled_cycles"] > 0

@@ -1,0 +1,197 @@
+"""The runtime race detector (``REPRO_VECTOR_RACE_CHECK``).
+
+The shadow tracker enforces, dynamically, the same access model
+staticcheck's RS rules prove statically: gathers precede conflicting
+writes, one clear and one produce per column per cycle, and only the
+parent (which runs strictly last) may produce a tile-cleared column.
+Three obligations:
+
+* **semantics** — each illegal access pattern raises
+  :class:`~repro.errors.DataRaceError`; each legal one is silent;
+* **differential validation** — with the detector armed, the full
+  sharded differential stays bit-identical to the activity kernel (the
+  detector must observe, never perturb), and randomized shard configs
+  that the static prover proves clean never trip the detector (no
+  false clean on either side);
+* **agreement on planted races** — replaying a planted-race shard plan
+  through the shadow raises exactly where the static prover flags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataRaceError
+from repro.sim.vector import (
+    VECTOR_RACE_CHECK_ENV,
+    _RaceShadow,
+)
+from repro.staticcheck import build_daelite_case, prove_network
+
+from ..staticcheck.fixtures.planted_artifacts import (
+    plant_overlapping_tiles,
+    plant_parent_tile_scatter,
+)
+from .test_vector_equivalence import (
+    run_chunked_differential,
+    shard_scenario,
+)
+
+pytestmark = pytest.mark.differential
+
+PARENT = _RaceShadow.PARENT
+
+
+def cols(*values: int) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+# -- shadow semantics ----------------------------------------------------------
+
+
+def test_disjoint_tile_writes_are_silent():
+    shadow = _RaceShadow(8)
+    shadow.note_gather(cols(0, 1), cycle=5, unit=0)
+    shadow.note_gather(cols(2, 3), cycle=5, unit=1)
+    shadow.note_clear(cols(0), cycle=5, unit=0)
+    shadow.note_scatter(cols(1), cycle=5, unit=0)
+    shadow.note_clear(cols(2), cycle=5, unit=1)
+    shadow.note_scatter(cols(3), cycle=5, unit=1)
+
+
+def test_two_units_scattering_one_column_race():
+    shadow = _RaceShadow(8)
+    shadow.note_scatter(cols(3), cycle=5, unit=0)
+    with pytest.raises(DataRaceError, match="column 3"):
+        shadow.note_scatter(cols(3), cycle=5, unit=1)
+
+
+def test_gather_of_freshly_produced_column_races():
+    shadow = _RaceShadow(8)
+    shadow.note_scatter(cols(4), cycle=5, unit=0)
+    with pytest.raises(DataRaceError, match="gather"):
+        shadow.note_gather(cols(4), cycle=5, unit=1)
+    # ...but the producing unit may read its own write order.
+    shadow.note_gather(cols(4), cycle=5, unit=0)
+
+
+def test_duplicate_clear_races():
+    shadow = _RaceShadow(8)
+    shadow.note_clear(cols(2), cycle=5, unit=0)
+    with pytest.raises(DataRaceError, match="clear"):
+        shadow.note_clear(cols(2), cycle=5, unit=1)
+
+
+def test_clear_of_freshly_produced_column_races():
+    shadow = _RaceShadow(8)
+    shadow.note_scatter(cols(6), cycle=5, unit=0)
+    with pytest.raises(DataRaceError):
+        shadow.note_clear(cols(6), cycle=5, unit=0)
+
+
+def test_parent_may_produce_a_tile_cleared_column():
+    """The crossing-pair pattern: tile clears, parent scatters last."""
+    shadow = _RaceShadow(8)
+    shadow.note_clear(cols(1), cycle=5, unit=0)
+    shadow.note_scatter(cols(1), cycle=5, unit=PARENT)
+
+
+def test_tile_produce_after_foreign_clear_races():
+    shadow = _RaceShadow(8)
+    shadow.note_clear(cols(1), cycle=5, unit=0)
+    with pytest.raises(DataRaceError, match="produce-after-clear"):
+        shadow.note_scatter(cols(1), cycle=5, unit=1)
+
+
+def test_cycles_do_not_leak():
+    shadow = _RaceShadow(8)
+    shadow.note_scatter(cols(3), cycle=5, unit=0)
+    shadow.note_scatter(cols(3), cycle=6, unit=1)
+
+
+# -- agreement with the static prover on planted races -------------------------
+
+
+def replay_through_shadow(artifacts) -> None:
+    """Drive a shard plan's access pattern through the shadow in the
+    engine's execution order: parent gathers, tiles run, parent last."""
+    shadow = _RaceShadow(artifacts.n_registers)
+    for rnd in artifacts.rounds:
+        cycle = rnd.phase + 1
+        parent = rnd.parent
+        if parent is not None:
+            shadow.note_gather(cols(*parent.gather), cycle, PARENT)
+        for index, tile in enumerate(rnd.tiles):
+            shadow.note_gather(cols(*tile.gather), cycle, index)
+            shadow.note_clear(cols(*tile.clear), cycle, index)
+            shadow.note_scatter(cols(*tile.scatter), cycle, index)
+        if parent is not None:
+            shadow.note_clear(cols(*parent.clear), cycle, PARENT)
+            shadow.note_scatter(cols(*parent.scatter), cycle, PARENT)
+
+
+@pytest.mark.parametrize(
+    "plant", [plant_overlapping_tiles, plant_parent_tile_scatter]
+)
+def test_planted_race_trips_both_prover_and_detector(plant):
+    from repro.staticcheck import verify_shard_plan
+
+    artifacts, expected = plant()
+    assert verify_shard_plan(artifacts), "static prover must flag"
+    assert expected
+    with pytest.raises(DataRaceError):
+        replay_through_shadow(artifacts)
+
+
+# -- differential validation ---------------------------------------------------
+
+
+def test_detector_armed_differential_is_bit_identical(monkeypatch):
+    """The armed detector must observe, never perturb: the sharded
+    differential against the activity kernel stays bit-exact."""
+    monkeypatch.setenv(VECTOR_RACE_CHECK_ENV, "1")
+    net = run_chunked_differential(shard_scenario(), vector_shards=3)
+    assert net.kernel.kernel_stats()["compiled_cycles"] > 0
+
+
+def test_detector_off_values_do_not_arm(monkeypatch):
+    monkeypatch.setenv(VECTOR_RACE_CHECK_ENV, "off")
+    net = run_chunked_differential(
+        shard_scenario(), vector_shards=2, vector_workers=2
+    )
+    assert net.kernel.kernel_stats()["compiled_cycles"] > 0
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(shards=st.integers(1, 8))
+def test_prover_clean_configs_never_trip_detector(monkeypatch_env, shards):
+    """No false clean: every shard config the static prover proves
+    clean runs under the armed detector without a DataRaceError."""
+    network = build_daelite_case(
+        3, slot_table_size=8, shards=shards
+    )
+    assert prove_network(network) == []
+    fresh = build_daelite_case(3, slot_table_size=8, shards=shards)
+    fresh.vector_race_check = True
+    fresh.run(800)
+    stats = fresh.kernel.kernel_stats()
+    assert stats["compiled_cycles"] > 0
+    assert fresh.stats.delivered_words("c0") > 0
+
+
+@pytest.fixture
+def monkeypatch_env(monkeypatch):
+    """Keep the env knob out of the Hypothesis run: the network
+    attribute path (``vector_race_check``) is what the test arms."""
+    monkeypatch.delenv(VECTOR_RACE_CHECK_ENV, raising=False)
+    return monkeypatch

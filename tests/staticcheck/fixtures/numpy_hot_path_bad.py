@@ -1,0 +1,34 @@
+# staticcheck: numpy-hot-path -- planted NP violations; parsed, never run
+"""Known-bad numpy fixture for the NP hot-path lint rules.
+
+This file is *parsed*, never imported: every statement below plants
+exactly one dtype-discipline violation (marked with a plant tag naming
+the expected rule) that the NP rules must catch, plus clean statements
+that must stay finding-free.
+"""
+
+import numpy as np
+
+state = np.zeros((6, 16), dtype=np.int64)
+good_index = np.nonzero(state[5])[0]
+payload = np.zeros(16)  # PLANT:NP001-implicit-zeros
+mirror = np.asarray(state)  # PLANT:NP001-implicit-asarray
+
+clean_scale = state[0] * 2 + 1
+state[0, good_index] += clean_scale  # PLANT:NP002-aliased-2d
+np.add.at(state[0], good_index, 1)  # clean: the accumulate idiom
+
+hot = np.asarray([3, 1, 2], dtype=np.intp)
+row = state[1]
+row[hot] -= 1  # PLANT:NP002-aliased-from-dtype
+
+ratio = state[2] / 7  # PLANT:NP003-true-division
+drift = state[3] * 0.5  # PLANT:NP003-float-constant
+wide = state[4] << 63  # PLANT:NP003-shift-past-guard
+huge = 9223372036854775808  # PLANT:NP003-unrepresentable-constant
+floats = state[5].astype(np.float64)  # PLANT:NP003-astype-float
+
+safe_floor = state[2] // 7
+safe_guard = 1 << 62
+safe_mask = state[0] > 0
+state[0, safe_mask] += 1  # clean: boolean masks do not alias

@@ -70,8 +70,42 @@ def test_list_rules(capsys):
         "ER001",
         "SC001",
         "SC004",
+        "OP001",
+        "OP004",
+        "RS001",
+        "RS003",
+        "NP001",
+        "NP003",
     ):
         assert rule_id in captured.out
+
+
+def test_default_paths_cover_the_data_plane_modules():
+    """The default audit cannot be escaped by new sim/ files, and in a
+    source checkout the examples ride along."""
+    from repro.staticcheck.cli import _default_paths, iter_source_files
+
+    files = iter_source_files(_default_paths())
+    for needle in (
+        os.path.join("sim", "compiled.py"),
+        os.path.join("sim", "vector.py"),
+        os.path.join("sim", "stats.py"),
+        os.path.join("staticcheck", "optable.py"),
+    ):
+        assert any(name.endswith(needle) for name in files), needle
+    repo_root = os.path.dirname(os.path.dirname(REPRO_ROOT))
+    if os.path.isdir(os.path.join(repo_root, "examples")):
+        marker = os.sep + "examples" + os.sep
+        assert any(marker in name for name in files)
+
+
+def test_default_audit_is_clean(capsys):
+    """src/repro *and* the examples pass with zero suppressions of the
+    new NP/OP/RS rule families."""
+    code = main([])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "no findings" in captured.err
 
 
 def test_module_invocation_runs():

@@ -1,0 +1,197 @@
+"""The data-plane provers: planted corpus exactness and live proofs.
+
+Three obligations:
+
+* **exactness on the planted corpus** — every hand-crafted artifact in
+  ``fixtures/planted_artifacts.py`` yields *exactly* its expected rule
+  codes (clean builders included: no false positives);
+* **soundness on live engines** — the shipped daelite lowering (both
+  shard regimes) and the aelite typed refusal prove clean through the
+  public introspection API, and a mutation planted into real artifacts
+  is flagged;
+* **the CLI leg** — ``--prove`` drives the matrix and exits 0 on the
+  shipped tree, 2 on malformed size filters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.compiled import lower_network
+from repro.sim.kernel import VECTOR_MODE, CompileRefusal
+from repro.staticcheck import (
+    build_aelite_case,
+    build_daelite_case,
+    main,
+    prove_network,
+    verify_op_tables,
+    verify_refusal,
+    verify_shard_plan,
+)
+
+from .fixtures.planted_artifacts import (
+    OP_CORPUS,
+    REFUSAL_CORPUS,
+    RS_CORPUS,
+)
+
+
+def codes(findings):
+    return frozenset(f.rule for f in findings)
+
+
+# -- planted corpus: exact rule codes, no more, no less ------------------------
+
+
+@pytest.mark.parametrize(
+    "name,builder", OP_CORPUS, ids=[name for name, _ in OP_CORPUS]
+)
+def test_op_corpus_exact_codes(name, builder):
+    artifact, expected = builder()
+    findings = verify_op_tables(artifact)
+    assert codes(findings) == expected, [f.render() for f in findings]
+    if expected:
+        assert findings, name
+
+
+@pytest.mark.parametrize(
+    "name,builder",
+    REFUSAL_CORPUS,
+    ids=[name for name, _ in REFUSAL_CORPUS],
+)
+def test_refusal_corpus_exact_codes(name, builder):
+    refusal, expected = builder()
+    assert codes(verify_refusal(refusal)) == expected
+
+
+@pytest.mark.parametrize(
+    "name,builder", RS_CORPUS, ids=[name for name, _ in RS_CORPUS]
+)
+def test_rs_corpus_exact_codes(name, builder):
+    artifact, expected = builder()
+    findings = verify_shard_plan(artifact)
+    assert codes(findings) == expected, [f.render() for f in findings]
+
+
+def test_findings_carry_register_names():
+    """Diagnostics name registers, not bare column ids."""
+    artifact, _ = dict(OP_CORPUS)["double_drive"]()
+    (finding,) = verify_op_tables(artifact)
+    assert "'r2'" in finding.message
+
+
+# -- live engines: the shipped lowering proves clean ---------------------------
+
+
+def test_prove_small_daelite_clean():
+    network = build_daelite_case(3, slot_table_size=8, shards=2)
+    assert prove_network(network) == []
+
+
+def test_prove_aelite_refusal_clean():
+    assert prove_network(build_aelite_case(3)) == []
+
+
+def test_lower_network_without_provider_refuses_typed():
+    network = build_aelite_case(3)
+    network.kernel.compile_provider = None
+    outcome = lower_network(network)
+    assert isinstance(outcome, CompileRefusal)
+    assert outcome.kind == CompileRefusal.NO_PROVIDER
+    assert verify_refusal(outcome) == []
+
+
+def test_mutated_live_artifacts_are_flagged():
+    """Flipping one real occupancy bit breaks the proof (OP003)."""
+    network = build_daelite_case(3, slot_table_size=8, shards=1)
+    engine = lower_network(network)
+    assert not isinstance(engine, CompileRefusal)
+    try:
+        artifacts = engine.lowered_artifacts()
+    finally:
+        engine.close()
+    assert verify_op_tables(artifacts) == []
+    occupancy = list(artifacts.occupancy)
+    victim = next(
+        rid for rid, mask in enumerate(occupancy) if mask
+    )
+    occupancy[victim] ^= 1 << (occupancy[victim].bit_length() - 1)
+    mutated = dataclasses.replace(
+        artifacts, occupancy=tuple(occupancy)
+    )
+    assert "OP003" in codes(verify_op_tables(mutated))
+
+
+def test_mutated_live_shard_plan_is_flagged():
+    """Dropping one tile pair from a real plan is caught (RS002)."""
+    network = build_daelite_case(3, slot_table_size=8, shards=2)
+    engine = lower_network(network)
+    assert not isinstance(engine, CompileRefusal)
+    try:
+        artifacts = engine.vector_artifacts()
+    finally:
+        engine.close()
+    assert verify_shard_plan(artifacts) == []
+    rounds = list(artifacts.rounds)
+    victim_index, victim_tile_index = next(
+        (index, tile_index)
+        for index, rnd in enumerate(rounds)
+        for tile_index, tile in enumerate(rnd.tiles)
+        if tile.sources
+    )
+    victim = rounds[victim_index]
+    tiles = list(victim.tiles)
+    tile = tiles[victim_tile_index]
+    tiles[victim_tile_index] = dataclasses.replace(
+        tile,
+        sources=tile.sources[1:],
+        scatter=tile.scatter[1:],
+        clear=tile.clear,
+    )
+    rounds[victim_index] = dataclasses.replace(
+        victim, tiles=tuple(tiles)
+    )
+    mutated = dataclasses.replace(artifacts, rounds=tuple(rounds))
+    assert "RS002" in codes(verify_shard_plan(mutated))
+
+
+def test_vector_network_publishes_artifacts():
+    """The introspection API is reachable without private attributes:
+    lower -> lowered_artifacts / vector_artifacts round-trips."""
+    network = build_daelite_case(3, slot_table_size=8, shards=4)
+    assert network.kernel.mode == VECTOR_MODE
+    engine = lower_network(network)
+    assert not isinstance(engine, CompileRefusal)
+    try:
+        lowered = engine.lowered_artifacts()
+        vector = engine.vector_artifacts()
+    finally:
+        engine.close()
+    assert lowered.wheel == vector.wheel
+    assert lowered.register_names == vector.register_names
+    assert vector.shards == len(vector.tile_bounds) == 4
+    assert len(vector.rounds) == vector.wheel
+    assert any(rnd.tiles for rnd in vector.rounds)
+
+
+# -- CLI leg -------------------------------------------------------------------
+
+
+def test_cli_prove_smallest_size_exits_zero(capsys):
+    assert main(["--prove", "--prove-size", "3"]) == 0
+    err = capsys.readouterr().err
+    assert "daelite-3x3-shards4: proved clean" in err
+    assert "aelite-3x3: proved clean" in err
+    assert "8x8" not in err
+
+
+def test_cli_prove_accepts_nxn_filter(capsys):
+    assert main(["--prove", "--prove-size", "3x3"]) == 0
+    assert "daelite-3x3-shards1" in capsys.readouterr().err
+
+
+def test_cli_prove_rejects_malformed_size(capsys):
+    assert main(["--prove", "--prove-size", "huge"]) == 2
+    assert "invalid --prove-size" in capsys.readouterr().err
