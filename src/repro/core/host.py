@@ -17,8 +17,9 @@ into an unconfigured path.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..alloc.spec import (
     AllocatedChannel,
@@ -40,6 +41,9 @@ from .config_protocol import (
     build_channel_read_packet,
 )
 from .multicast import channel_path_packet, multicast_path_packets
+
+if TYPE_CHECKING:
+    from .ni import NetworkInterface
 
 
 @dataclass
@@ -125,6 +129,9 @@ class Host:
         params: NetworkParameters,
         cycle_supplier: Callable[[], int],
         channel_buffer_words: Optional[int] = None,
+        ni_resolver: Optional[
+            Callable[[str], Optional["NetworkInterface"]]
+        ] = None,
     ) -> None:
         self.topology = topology
         self.module = module
@@ -136,16 +143,31 @@ class Host:
             else params.channel_buffer_words
         )
         self._next_channel: Dict[str, int] = {}
+        # Min-heaps of recycled indices per NI: allocation prefers the
+        # lowest freed index before extending the high-water mark, so
+        # index assignment stays deterministic under churn.
+        self._free_channels: Dict[str, List[int]] = {}
+        # Lets index recycling quiesce the NI's driver-side channel
+        # state (queued words, sequence counters); None in unit tests
+        # that exercise the host against a bare config module.
+        self._ni_resolver = ni_resolver
 
     # -- channel index management ----------------------------------------------
 
     def allocate_channel_index(self, ni_name: str) -> int:
-        """Next free channel index at an NI (indices are never reused;
-        64 per NI suffice for the supported network sizes).
+        """Next free channel index at an NI (64 per NI).
+
+        Indices released by :meth:`recycle_connection_indices` /
+        :meth:`recycle_multicast_indices` are reused lowest-first
+        before the high-water mark grows, so a sustained open/close
+        churn never exhausts the space.
 
         Raises:
             ConfigurationError: if the NI ran out of channel indices.
         """
+        free = self._free_channels.get(ni_name)
+        if free:
+            return heapq.heappop(free)
         index = self._next_channel.get(ni_name, 0)
         if index >= 64:
             raise ConfigurationError(
@@ -153,6 +175,77 @@ class Host:
             )
         self._next_channel[ni_name] = index + 1
         return index
+
+    def _release_channel_index(self, ni_name: str, index: int) -> None:
+        free = self._free_channels.setdefault(ni_name, [])
+        if index in free:
+            raise ConfigurationError(
+                f"NI {ni_name!r} channel index {index} released twice"
+            )
+        heapq.heappush(free, index)
+        if self._ni_resolver is not None:
+            ni = self._ni_resolver(ni_name)
+            if ni is not None:
+                ni.quiesce_channel(index)
+
+    def recycle_connection_indices(
+        self, handle: ConnectionHandle, connection: AllocatedConnection
+    ) -> None:
+        """Return a torn-down connection's four channel indices to the
+        free pool.
+
+        Must only be called after the tear-down returned by
+        :meth:`teardown_connection` has *completed* on the network —
+        the cleared tables no longer reference the indices, so a later
+        set-up may safely reuse them.
+
+        Raises:
+            ConfigurationError: if the handle is not torn down (the
+                indices are still live in NI tables), or an index is
+                released twice.
+        """
+        if handle.forward is None or handle.reverse is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        if not handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is still configured; tear it down "
+                f"before recycling its channel indices"
+            )
+        for endpoints, channel in (
+            (handle.forward, connection.forward),
+            (handle.reverse, connection.reverse),
+        ):
+            self._release_channel_index(
+                channel.src_ni, endpoints.src_channel
+            )
+            self._release_channel_index(
+                channel.dst_ni, endpoints.dst_channel
+            )
+
+    def recycle_multicast_indices(self, handle: MulticastHandle) -> None:
+        """Return a torn-down multicast tree's channel indices to the
+        free pool (same completion contract as
+        :meth:`recycle_connection_indices`).
+
+        Raises:
+            ConfigurationError: as :meth:`recycle_connection_indices`.
+        """
+        if handle.tree is None:
+            raise ConfigurationError(
+                f"{handle.label!r} was never fully set up"
+            )
+        if not handle.torn_down:
+            raise ConfigurationError(
+                f"{handle.label!r} is still configured; tear it down "
+                f"before recycling its channel indices"
+            )
+        self._release_channel_index(
+            handle.tree.src_ni, handle.src_channel
+        )
+        for dst, index in sorted(handle.dst_channels.items()):
+            self._release_channel_index(dst, index)
 
     def _endpoints(self, channel: AllocatedChannel) -> ChannelEndpoints:
         """Assign source and destination channel indices for a channel."""

@@ -101,6 +101,7 @@ class DaeliteNetwork:
             module=self.config_module,
             params=self.params,
             cycle_supplier=lambda: self.kernel.cycle,
+            ni_resolver=self.nis.get,
         )
         install_compile_provider(self)
 

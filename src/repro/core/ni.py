@@ -216,6 +216,19 @@ class NetworkInterface(Component):
         source = self.source_channels.get(channel)
         return len(source.queue) if source else 0
 
+    def quiesce_channel(self, channel: int) -> None:
+        """Forget the driver-side state of one channel index.
+
+        The tear-down packets already cleared the hardware registers;
+        this drops what only software holds — words queued but never
+        injected, arrivals never drained, pending credits, and the
+        injection sequence counter — so a later connection reusing the
+        recycled index starts from a clean slate (sequence numbering
+        restarts at 0, exactly as if the index were fresh)."""
+        self.source_channels.pop(channel, None)
+        self.dest_channels.pop(channel, None)
+        self._sequence_counters.pop(channel, None)
+
     # -- cycle behaviour -------------------------------------------------------
 
     def external_inputs(self) -> List[Register]:

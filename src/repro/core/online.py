@@ -16,7 +16,7 @@ established traffic (contention freedom is maintained by the ledger).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..alloc.pathfind import shortest_path
 from ..alloc.slot_alloc import SlotAllocator
@@ -27,7 +27,12 @@ from ..alloc.spec import (
     ConnectionRequest,
     MulticastRequest,
 )
-from ..errors import AllocationError, ConfigurationError, RoutingError
+from ..errors import (
+    AllocationError,
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+)
 from ..sim.stats import FAULT_DETECTED
 from .host import ConnectionHandle, MulticastHandle, SetupHandle
 from .network import DaeliteNetwork
@@ -128,8 +133,13 @@ class OnlineConnectionManager:
         network: DaeliteNetwork,
         routing: str = "shortest",
         policy: str = "spread",
+        max_op_cycles: int = 200_000,
     ) -> None:
         self.network = network
+        #: Simulation budget for any single blocking operation (set-up,
+        #: tear-down, replay); exceeding it raises ``SimulationError``,
+        #: which the service layer converts to a typed timeout outcome.
+        self.max_op_cycles = max_op_cycles
         self.allocator = SlotAllocator(
             topology=network.topology,
             params=network.params,
@@ -172,7 +182,9 @@ class OnlineConnectionManager:
         opened_at = self.network.kernel.cycle
         try:
             handle = self.network.host.setup_connection(allocation)
-            setup_cycles = self.network.run_until_configured(handle)
+            setup_cycles = self.network.run_until_configured(
+                handle, max_cycles=self.max_op_cycles
+            )
         except Exception:
             self.allocator.release_connection(allocation)
             raise
@@ -186,6 +198,75 @@ class OnlineConnectionManager:
         self.connections[request.label] = record
         self.setup_history.append(setup_cycles)
         return record
+
+    def open_connections_batched(
+        self, requests: Sequence[ConnectionRequest]
+    ) -> List[OpenConnection]:
+        """Open several connections in one configuration-tree batch.
+
+        All set-up packets are staged on the config module's queue
+        before the simulator runs, so the tree streams them
+        back-to-back instead of paying a full round-trip per
+        connection — the service broker's bulk-admission path.
+        Per-connection set-up times still measure each handle's own
+        first-submission-to-last-completion span.
+
+        Allocation is all-or-nothing: if any request cannot be
+        allocated, every allocation already made for this batch is
+        released and the error propagates — no packet has been
+        submitted yet at that point.
+
+        Raises:
+            AllocationError: if a label is already open, a duplicate
+                appears within the batch, or slots run out.
+        """
+        seen: set[str] = set()
+        for request in requests:
+            if request.label in self.connections or (
+                request.label in seen
+            ):
+                raise AllocationError(
+                    f"connection {request.label!r} already open"
+                )
+            seen.add(request.label)
+        staged: List[Tuple[ConnectionRequest, AllocatedConnection]] = []
+        try:
+            for request in requests:
+                staged.append(
+                    (request, self.allocator.allocate_connection(request))
+                )
+        except AllocationError:
+            for _, allocation in staged:
+                self.allocator.release_connection(allocation)
+            raise
+        opened_at = self.network.kernel.cycle
+        handles: List[ConnectionHandle] = []
+        try:
+            for _, allocation in staged:
+                handles.append(
+                    self.network.host.setup_connection(allocation)
+                )
+            self.network.kernel.run_until(
+                lambda: all(handle.done for handle in handles),
+                max_cycles=self.max_op_cycles,
+            )
+        except ReproError:
+            for _, allocation in staged:
+                self.allocator.release_connection(allocation)
+            raise
+        records: List[OpenConnection] = []
+        for (request, allocation), handle in zip(staged, handles):
+            record = OpenConnection(
+                request=request,
+                allocation=allocation,
+                handle=handle,
+                opened_at=opened_at,
+                setup_cycles=handle.setup_cycles,
+            )
+            self.connections[request.label] = record
+            self.setup_history.append(handle.setup_cycles)
+            records.append(record)
+        return records
 
     def close_connection(self, label: str) -> int:
         """Tear down a connection and release its slots.
@@ -201,8 +282,13 @@ class OnlineConnectionManager:
         teardown = self.network.host.teardown_connection(
             record.handle, record.allocation
         )
-        cycles = self.network.run_until_configured(teardown)
+        cycles = self.network.run_until_configured(
+            teardown, max_cycles=self.max_op_cycles
+        )
         self.allocator.release_connection(record.allocation)
+        self.network.host.recycle_connection_indices(
+            record.handle, record.allocation
+        )
         self.teardown_history.append(cycles)
         return cycles
 
@@ -218,7 +304,9 @@ class OnlineConnectionManager:
         opened_at = self.network.kernel.cycle
         try:
             handle = self.network.host.setup_multicast(allocation)
-            setup_cycles = self.network.run_until_configured(handle)
+            setup_cycles = self.network.run_until_configured(
+                handle, max_cycles=self.max_op_cycles
+            )
         except Exception:
             self.allocator.release_multicast(allocation)
             raise
@@ -239,8 +327,11 @@ class OnlineConnectionManager:
         if record is None:
             raise ConfigurationError(f"multicast {label!r} not open")
         teardown = self.network.host.teardown_multicast(record.handle)
-        cycles = self.network.run_until_configured(teardown)
+        cycles = self.network.run_until_configured(
+            teardown, max_cycles=self.max_op_cycles
+        )
         self.allocator.release_multicast(record.allocation)
+        self.network.host.recycle_multicast_indices(record.handle)
         self.teardown_history.append(cycles)
         return cycles
 
@@ -292,27 +383,35 @@ class OnlineConnectionManager:
         record = self.connections.pop(label)
         kernel = self.network.kernel
         start = kernel.cycle
-        teardown = self.network.host.teardown_connection(
-            record.handle, record.allocation
-        )
-        teardown_cycles = self.network.run_until_configured(teardown)
-        self.allocator.release_connection(record.allocation)
+        teardown_cycles = 0
         try:
-            allocation = self._allocate_detour(record.request)
-        except AllocationError as error:
-            total = kernel.cycle - start
-            self.failed_history.append(total)
-            return RecoveryOutcome(
-                label=label,
-                kind="connection",
-                recovered=False,
-                teardown_cycles=teardown_cycles,
-                setup_cycles=0,
-                total_cycles=total,
-                error=str(error),
+            teardown = self.network.host.teardown_connection(
+                record.handle, record.allocation
             )
-        handle = self.network.host.setup_connection(allocation)
-        setup_cycles = self.network.run_until_configured(handle)
+            teardown_cycles = self.network.run_until_configured(
+                teardown, max_cycles=self.max_op_cycles
+            )
+            self.allocator.release_connection(record.allocation)
+            self.network.host.recycle_connection_indices(
+                record.handle, record.allocation
+            )
+            allocation = self._allocate_detour(record.request)
+        except ReproError as error:
+            return self._failed_outcome(
+                label, "connection", start, teardown_cycles, error
+            )
+        try:
+            handle = self.network.host.setup_connection(allocation)
+            setup_cycles = self.network.run_until_configured(
+                handle, max_cycles=self.max_op_cycles
+            )
+        except ReproError as error:
+            # The detour's ledger claims must not leak when the config
+            # tree cannot complete the replacement set-up.
+            self.allocator.release_connection(allocation)
+            return self._failed_outcome(
+                label, "connection", start, teardown_cycles, error
+            )
         total = kernel.cycle - start
         self.connections[label] = OpenConnection(
             request=record.request,
@@ -332,31 +431,57 @@ class OnlineConnectionManager:
             path_hops=len(allocation.forward.path) - 1,
         )
 
+    def _failed_outcome(
+        self,
+        label: str,
+        kind: str,
+        start: int,
+        teardown_cycles: int,
+        error: ReproError,
+    ) -> RecoveryOutcome:
+        total = self.network.kernel.cycle - start
+        self.failed_history.append(total)
+        return RecoveryOutcome(
+            label=label,
+            kind=kind,
+            recovered=False,
+            teardown_cycles=teardown_cycles,
+            setup_cycles=0,
+            total_cycles=total,
+            error=f"{type(error).__name__}: {error}",
+        )
+
     def _recover_multicast(self, label: str) -> RecoveryOutcome:
         record = self.multicasts.pop(label)
         kernel = self.network.kernel
         start = kernel.cycle
-        teardown = self.network.host.teardown_multicast(record.handle)
-        teardown_cycles = self.network.run_until_configured(teardown)
-        self.allocator.release_multicast(record.allocation)
+        teardown_cycles = 0
         try:
+            teardown = self.network.host.teardown_multicast(
+                record.handle
+            )
+            teardown_cycles = self.network.run_until_configured(
+                teardown, max_cycles=self.max_op_cycles
+            )
+            self.allocator.release_multicast(record.allocation)
+            self.network.host.recycle_multicast_indices(record.handle)
             allocation = self.allocator.allocate_multicast(
                 record.request
             )
-        except AllocationError as error:
-            total = kernel.cycle - start
-            self.failed_history.append(total)
-            return RecoveryOutcome(
-                label=label,
-                kind="multicast",
-                recovered=False,
-                teardown_cycles=teardown_cycles,
-                setup_cycles=0,
-                total_cycles=total,
-                error=str(error),
+        except ReproError as error:
+            return self._failed_outcome(
+                label, "multicast", start, teardown_cycles, error
             )
-        handle = self.network.host.setup_multicast(allocation)
-        setup_cycles = self.network.run_until_configured(handle)
+        try:
+            handle = self.network.host.setup_multicast(allocation)
+            setup_cycles = self.network.run_until_configured(
+                handle, max_cycles=self.max_op_cycles
+            )
+        except ReproError as error:
+            self.allocator.release_multicast(allocation)
+            return self._failed_outcome(
+                label, "multicast", start, teardown_cycles, error
+            )
         total = kernel.cycle - start
         self.multicasts[label] = OpenMulticast(
             request=record.request,
@@ -414,7 +539,9 @@ class OnlineConnectionManager:
         replay = self.network.host.replay_connection(
             record.handle, record.allocation
         )
-        cycles = self.network.run_until_configured(replay)
+        cycles = self.network.run_until_configured(
+            replay, max_cycles=self.max_op_cycles
+        )
         self.recovery_history.append(cycles)
         return cycles
 
@@ -424,7 +551,9 @@ class OnlineConnectionManager:
         if record is None:
             raise ConfigurationError(f"multicast {label!r} not open")
         replay = self.network.host.replay_multicast(record.handle)
-        cycles = self.network.run_until_configured(replay)
+        cycles = self.network.run_until_configured(
+            replay, max_cycles=self.max_op_cycles
+        )
         self.recovery_history.append(cycles)
         return cycles
 

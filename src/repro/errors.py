@@ -98,3 +98,31 @@ class DataRaceError(SimulationError):
 
 class TrafficError(ReproError):
     """A traffic generator or sink was misused."""
+
+
+class ServiceError(ReproError):
+    """Base class for the multi-tenant connection service
+    (:mod:`repro.service`).  Request-path failures never surface as
+    exceptions — they end in typed :class:`~repro.service.broker.
+    ServiceOutcome` records — so a raised ``ServiceError`` always means
+    the service API itself was misused."""
+
+
+class LeaseError(ServiceError):
+    """A lease operation targeted a label in an incompatible state
+    (renewing an unknown, expired, or revoked lease; double release)."""
+
+
+class CircuitOpenError(ServiceError):
+    """An operation was forced through a region whose circuit breaker
+    is open.  The broker's request path never raises this — open
+    circuits shed to the typed ``admit_deferred`` outcome — so it only
+    escapes from explicit ``force=True`` control-plane calls."""
+
+
+class ServiceConfigError(ServiceError):
+    """The service was constructed with a knob that cannot be degraded
+    to a default (a non-positive shard count passed programmatically,
+    a churn mix that sums to zero).  Malformed *environment* knobs
+    never raise — they degrade to defaults with a typed
+    ``unsupported_params`` refusal recorded in the service stats."""

@@ -1,0 +1,81 @@
+"""NoC as a service: the multi-tenant connection control plane.
+
+This package turns the repo's primitives — bitmask slot allocation,
+the admission oracle, online set-up/teardown, fault recovery — into a
+resilient service (DESIGN.md §14):
+
+* :class:`ConnectionBroker` — sharded admission with an oracle fast
+  path, typed degraded modes, bounded retry, circuit breaking.
+* :class:`LeaseTable` — connection leases: expiry, renewal,
+  revocation-on-failure.
+* :class:`ChurnEngine` — seeded, deterministic tenant workload.
+* :class:`AvailabilityHarness` — fault campaigns during live churn,
+  scored as per-tenant SLOs.
+"""
+
+from .availability import (
+    AvailabilityHarness,
+    AvailabilityReport,
+    FaultWave,
+    LinkFailureEvent,
+)
+from .broker import (
+    ALL_STATUSES,
+    SUCCESS_STATUSES,
+    ConnectionBroker,
+    ServiceOutcome,
+    ServiceShard,
+    ServiceStats,
+    TenantRequest,
+    build_mesh_fleet,
+)
+from .churn import ChurnEngine, ChurnMix, ChurnRecord
+from .config import (
+    SERVICE_BACKOFF_BASE_ENV,
+    SERVICE_BACKOFF_CAP_ENV,
+    SERVICE_BREAKER_COOLDOWN_ENV,
+    SERVICE_BREAKER_THRESHOLD_ENV,
+    SERVICE_JITTER_ENV,
+    SERVICE_LEASE_ENV,
+    SERVICE_RETRIES_ENV,
+    SERVICE_SHARDS_ENV,
+    SERVICE_TIMEOUT_ENV,
+    ServiceConfig,
+    resolve_service_config,
+)
+from .leases import Lease, LeaseTable
+from .policy import BackoffPolicy, CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "ALL_STATUSES",
+    "SERVICE_BACKOFF_BASE_ENV",
+    "SERVICE_BACKOFF_CAP_ENV",
+    "SERVICE_BREAKER_COOLDOWN_ENV",
+    "SERVICE_BREAKER_THRESHOLD_ENV",
+    "SERVICE_JITTER_ENV",
+    "SERVICE_LEASE_ENV",
+    "SERVICE_RETRIES_ENV",
+    "SERVICE_SHARDS_ENV",
+    "SERVICE_TIMEOUT_ENV",
+    "SUCCESS_STATUSES",
+    "AvailabilityHarness",
+    "AvailabilityReport",
+    "BackoffPolicy",
+    "ChurnEngine",
+    "ChurnMix",
+    "ChurnRecord",
+    "CircuitBreaker",
+    "ConnectionBroker",
+    "FaultWave",
+    "Lease",
+    "LeaseTable",
+    "LinkFailureEvent",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServiceOutcome",
+    "ServiceShard",
+    "ServiceStats",
+    "TenantRequest",
+    "build_mesh_fleet",
+    "resolve_service_config",
+]

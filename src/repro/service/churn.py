@@ -1,0 +1,263 @@
+"""Seeded churn: the sustained tenant workload the service must absorb.
+
+The engine generates an endless, deterministic stream of tenant
+operations — opens, releases, renewals, repairs, lease sweeps — against
+a :class:`~repro.service.broker.ConnectionBroker`.  All randomness
+comes from one :class:`~repro.traffic.generators.Lcg` consumed in op
+order, so a campaign is a pure function of ``(seed, broker shape,
+op count)`` — the reproducibility contract the determinism suite
+asserts byte-for-byte.
+
+The op mix is weight-driven.  An op that cannot apply (e.g. a release
+with nothing open) falls through to an open, so every step performs
+exactly one service operation and op indices stay aligned across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..alloc.spec import ConnectionRequest
+from ..errors import ServiceConfigError
+from ..traffic.generators import Lcg
+from .broker import ConnectionBroker, ServiceOutcome, TenantRequest
+
+OP_OPEN = "open"
+OP_RELEASE = "release"
+OP_RENEW = "renew"
+OP_REPAIR = "repair"
+OP_SWEEP = "sweep"
+
+
+@dataclass(frozen=True)
+class ChurnMix:
+    """Relative op weights (any non-negative ints, sum > 0)."""
+
+    open: int = 5
+    release: int = 3
+    renew: int = 6
+    repair: int = 1
+    sweep: int = 1
+
+    def __post_init__(self) -> None:
+        weights = (
+            self.open,
+            self.release,
+            self.renew,
+            self.repair,
+            self.sweep,
+        )
+        if any(weight < 0 for weight in weights):
+            raise ServiceConfigError(
+                f"churn weights must be >= 0, got {weights}"
+            )
+        if sum(weights) == 0:
+            raise ServiceConfigError("churn mix sums to zero")
+
+    def table(self) -> List[str]:
+        """The draw table: one entry per weight unit."""
+        return (
+            [OP_OPEN] * self.open
+            + [OP_RELEASE] * self.release
+            + [OP_RENEW] * self.renew
+            + [OP_REPAIR] * self.repair
+            + [OP_SWEEP] * self.sweep
+        )
+
+
+@dataclass
+class ChurnRecord:
+    """One executed churn step (for audit and determinism digests)."""
+
+    index: int
+    op: str
+    outcomes: List[ServiceOutcome] = field(default_factory=list)
+
+
+class ChurnEngine:
+    """Drives a deterministic tenant workload through a broker."""
+
+    def __init__(
+        self,
+        broker: ConnectionBroker,
+        seed: int = 0,
+        tenants: int = 8,
+        mix: Optional[ChurnMix] = None,
+        forward_slots_max: int = 2,
+        gap_cycles: int = 0,
+        max_live: Optional[int] = None,
+    ) -> None:
+        if tenants < 1:
+            raise ServiceConfigError(
+                f"need >= 1 tenant, got {tenants}"
+            )
+        if forward_slots_max < 1:
+            raise ServiceConfigError(
+                f"forward_slots_max must be >= 1, got {forward_slots_max}"
+            )
+        if gap_cycles < 0:
+            raise ServiceConfigError(
+                f"gap_cycles must be >= 0, got {gap_cycles}"
+            )
+        if max_live is not None and max_live < 1:
+            raise ServiceConfigError(
+                f"max_live must be >= 1, got {max_live}"
+            )
+        self.broker = broker
+        self.rng = Lcg(seed)
+        self.tenants = [f"tenant{index:02d}" for index in range(tenants)]
+        self.mix = mix if mix is not None else ChurnMix()
+        self._table = self.mix.table()
+        self.forward_slots_max = forward_slots_max
+        self.gap_cycles = gap_cycles
+        #: Steady-state watermark, per shard: when the target shard
+        #: already holds this many live connections an open op converts
+        #: to a release on that shard, modelling a fleet operated below
+        #: its admission ceiling (None = no cap).
+        self.max_live = max_live
+        self._label_counter = 0
+        self.records: List[ChurnRecord] = []
+        self.ops_run = 0
+
+    # -- op construction ---------------------------------------------------------
+
+    def _next_label(self, tenant: str) -> str:
+        self._label_counter += 1
+        return f"{tenant}.c{self._label_counter:05d}"
+
+    def _pick_tenant(self) -> str:
+        return self.tenants[self.rng.next_below(len(self.tenants))]
+
+    def _build_open(self, tenant: str) -> TenantRequest:
+        shard = self.broker.shard_for(tenant)
+        nis = shard.endpoint_nis
+        src = nis[self.rng.next_below(len(nis))]
+        dst_choices = [name for name in nis if name != src]
+        dst = dst_choices[self.rng.next_below(len(dst_choices))]
+        slots = 1 + self.rng.next_below(self.forward_slots_max)
+        return TenantRequest(
+            tenant=tenant,
+            request=ConnectionRequest(
+                self._next_label(tenant),
+                src,
+                dst,
+                forward_slots=slots,
+            ),
+            min_forward_slots=1,
+        )
+
+    def _pick_live_label(self) -> Optional[str]:
+        labels = self.broker.live_labels()
+        if not labels:
+            return None
+        return labels[self.rng.next_below(len(labels))]
+
+    def _pick_renewable_label(self) -> Optional[str]:
+        """A live label whose lease is still renewable (a lease past
+        its deadline belongs to the sweep, not to a renewal)."""
+        labels = [
+            label
+            for label in self.broker.live_labels()
+            if self.broker.shard_of_label(label)
+            .leases.get(label)
+            .live(self.broker.shard_of_label(label).now)
+        ]
+        if not labels:
+            return None
+        return labels[self.rng.next_below(len(labels))]
+
+    # -- execution ---------------------------------------------------------------
+
+    def _shard_live_labels(self, tenant: str) -> List[str]:
+        shard = self.broker.shard_for(tenant)
+        return [
+            label
+            for label in self.broker.live_labels()
+            if self.broker.shard_of_label(label) is shard
+        ]
+
+    def step(self) -> ChurnRecord:
+        """Execute exactly one churn operation."""
+        op = self._table[self.rng.next_below(len(self._table))]
+        record = ChurnRecord(index=self.ops_run, op=op)
+        open_tenant: Optional[str] = None
+        release_pool: Optional[List[str]] = None
+        if op == OP_OPEN:
+            open_tenant = self._pick_tenant()
+            if self.max_live is not None:
+                pool = self._shard_live_labels(open_tenant)
+                if len(pool) >= self.max_live:
+                    # The target shard is at the watermark: churn on
+                    # that shard instead of growing it.
+                    op = OP_RELEASE
+                    record.op = op
+                    release_pool = pool
+        if op in (OP_RELEASE, OP_RENEW, OP_REPAIR):
+            if release_pool is not None:
+                label: Optional[str] = release_pool[
+                    self.rng.next_below(len(release_pool))
+                ]
+            elif op == OP_RENEW:
+                label = self._pick_renewable_label()
+            else:
+                label = self._pick_live_label()
+            if label is None:
+                op = OP_OPEN  # nothing live yet: fall through to open
+                record.op = op
+            elif op == OP_RELEASE:
+                record.outcomes.append(self.broker.release(label))
+            elif op == OP_RENEW:
+                record.outcomes.append(self.broker.renew(label))
+            else:
+                record.outcomes.append(self.broker.repair(label))
+        if op == OP_OPEN:
+            if open_tenant is None:
+                open_tenant = self._pick_tenant()
+            ask = self._build_open(open_tenant)
+            record.outcomes.append(self.broker.open(ask))
+        elif op == OP_SWEEP:
+            record.outcomes.extend(self.broker.sweep_expired())
+        if self.gap_cycles:
+            for shard in self.broker.shards:
+                shard.network.run(self.gap_cycles)
+        self.ops_run += 1
+        self.records.append(record)
+        return record
+
+    def run(self, ops: int) -> List[ChurnRecord]:
+        """Execute ``ops`` churn operations; returns their records."""
+        return [self.step() for _ in range(ops)]
+
+    # -- determinism digest ------------------------------------------------------
+
+    def digest(self) -> str:
+        """A byte-exact digest of everything the campaign decided.
+
+        Two runs with the same seed and broker shape must produce the
+        identical string — outcome statuses, labels, cycle stamps,
+        retry counts, and backoff delays all included.
+        """
+        parts: List[str] = []
+        for record in self.records:
+            for outcome in record.outcomes:
+                parts.append(
+                    f"{record.index}:{record.op}:{outcome.status}:"
+                    f"{outcome.label}:{outcome.region}:{outcome.cycle}:"
+                    f"{outcome.attempts}:{outcome.op_cycles}"
+                )
+        parts.append(
+            "backoff=" + ",".join(map(str, self.broker.backoff.history))
+        )
+        parts.append(f"retries={self.broker.stats.retries}")
+        return "\n".join(parts)
+
+    def status_counts(self) -> Dict[str, int]:
+        """Outcome status histogram over all records, sorted keys."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            for outcome in record.outcomes:
+                counts[outcome.status] = (
+                    counts.get(outcome.status, 0) + 1
+                )
+        return dict(sorted(counts.items()))

@@ -69,9 +69,14 @@ def _multicast_sink(network, manager, label, dst):
     return sink
 
 
-def _fresh(sink, base):
-    """Payloads of the current epoch (>= base) seen by a sink."""
-    return [p for _, p in sink.received if p >= base]
+def _fresh(sink, base, count):
+    """Payloads of the current epoch seen by a sink.
+
+    Bounded to the epoch's exact payload window ``[base, base+count)``:
+    a straggler from the *previous* epoch whose payload a stuck-at
+    fault pushed above ``base`` (e.g. bit 21 forced high turns payload
+    7 into 0x200007) must not be mistaken for fresh delivery."""
+    return [p for _, p in sink.received if base <= p < base + count]
 
 
 def run_chaos(seed: int, fail_a_link: bool) -> None:
@@ -159,12 +164,13 @@ def run_chaos(seed: int, fail_a_link: bool) -> None:
     for _ in range(60):
         network.run(100)
         if all(
-            len(_fresh(sinks[label], base)) >= want[label]
+            len(_fresh(sinks[label], base, want[label])) >= want[label]
             for label in want
         ):
             break
     got = {
-        label: len(_fresh(sinks[label], base)) for label in want
+        label: len(_fresh(sinks[label], base, want[label]))
+        for label in want
     }
     assert got == want, f"post-recovery bandwidth (seed {seed}): {got}"
 
@@ -176,7 +182,7 @@ def run_chaos(seed: int, fail_a_link: bool) -> None:
     )
     network.run(400)
     for dst, sink in sync_sinks.items():
-        assert len(_fresh(sink, base)) == 5, (
+        assert len(_fresh(sink, base, 5)) == 5, (
             f"multicast to {dst} (seed {seed})"
         )
 

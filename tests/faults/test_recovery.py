@@ -127,6 +127,41 @@ class TestLinkFailureRecovery:
         assert manager.claimed_slots == 0
         verify_network_state(network, [])
 
+    def test_severed_bisection_releases_with_typed_outcome(self):
+        """Regression: rerouting that finds *no* alternative route must
+        end in a typed failed ``RecoveryOutcome`` — with the connection
+        released and its slots returned — never a raw allocator
+        exception escaping ``handle_link_failure``."""
+        topology = build_mesh(2, 2)
+        params = daelite_parameters(slot_table_size=8)
+        network = DaeliteNetwork(topology, params, host_ni="NI00")
+        manager = OnlineConnectionManager(network)
+        record = manager.open_connection(
+            ConnectionRequest("biz", "NI00", "NI11", forward_slots=2)
+        )
+        path = record.allocation.forward.path
+        on_path = (path[1], path[2])
+        # Sever the whole bisection: mask the parallel link first, then
+        # fail the one the connection actually crosses.
+        bisection = {("R00", "R10"), ("R01", "R11")}
+        if {*on_path} in ({"R00", "R01"}, {"R10", "R11"}):
+            bisection = {("R00", "R01"), ("R10", "R11")}
+        for a, b in sorted(bisection):
+            if {a, b} != {*on_path} and not topology.link_is_failed(
+                a, b
+            ):
+                topology.fail_link(a, b)
+        report = manager.handle_link_failure(on_path)
+        (outcome,) = report.outcomes
+        assert not outcome.recovered
+        assert outcome.kind == "connection"
+        assert outcome.path_hops is None
+        assert "RoutingError" in outcome.error
+        assert "biz" not in manager.connections
+        assert manager.claimed_slots == 0
+        assert manager.failed_history == [outcome.total_cycles]
+        verify_network_state(network, [])
+
     def test_xy_routing_falls_back_to_explicit_detour(self):
         topology = build_mesh(3, 3)
         params = daelite_parameters(slot_table_size=16)
@@ -252,7 +287,24 @@ class TestRecoveredTraffic:
         assert lost > 0
         assert sink.words_received == 30 - lost
         # Recover over a fresh path; the new epoch must flow at full
-        # rate again (fresh label: sequence numbering restarts at 0).
+        # rate again.  Index recycling re-binds the replacement
+        # connection to the same (quiesced) channel indices, so the
+        # original sink keeps draining it — and sequence numbering
+        # restarts at 0 on the recycled index.
         manager.handle_link_failure(forward_edge(record))
         new = manager.connections["stream"]
-        assert deliver(network, new, 30, "stream.healed") == 30
+        assert (
+            new.handle.forward.dst_channel
+            == record.handle.forward.dst_channel
+        )
+        base = sink.words_received
+        network.ni(new.request.src_ni).submit_words(
+            new.handle.forward.src_channel,
+            [2 * i for i in range(30)],
+            "stream.healed",
+        )
+        network.run(1200)
+        assert sink.words_received - base == 30
+        # The lossy epoch legitimately logged gaps; the healed epoch
+        # (fresh sequence space on the recycled index) must be clean.
+        assert not [f for f in sink.findings if "stream.healed" in f]

@@ -1,0 +1,111 @@
+"""Lease state machine: grant/renew/expire/release/revoke transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LeaseError
+from repro.service import LeaseTable
+
+
+class TestGrantRenew:
+    def test_grant_and_live(self):
+        table = LeaseTable()
+        lease = table.grant("c1", "tenantA", now=100, duration=50)
+        assert lease.live(100)
+        assert lease.live(149)
+        assert not lease.live(150)
+        assert table.active_labels(100) == ["c1"]
+        assert table.active_labels(150) == []
+
+    def test_renew_extends(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        lease = table.renew("c1", now=50, duration=100)
+        assert lease.expires_at == 150
+        assert lease.renewals == 1
+
+    def test_renew_never_shortens(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=1000)
+        lease = table.renew("c1", now=10, duration=50)
+        assert lease.expires_at == 1000
+
+    def test_double_grant_active_raises(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        with pytest.raises(LeaseError):
+            table.grant("c1", "tenantB", now=10, duration=100)
+
+    def test_regrant_after_terminal_is_fine(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        table.release("c1")
+        lease = table.grant("c1", "tenantB", now=200, duration=100)
+        assert lease.tenant == "tenantB"
+
+    def test_renew_unknown_raises(self):
+        with pytest.raises(LeaseError):
+            LeaseTable().renew("ghost", now=0, duration=10)
+
+    def test_renew_past_deadline_raises(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        with pytest.raises(LeaseError):
+            table.renew("c1", now=100, duration=100)
+
+    def test_grant_nonpositive_duration_raises(self):
+        with pytest.raises(LeaseError):
+            LeaseTable().grant("c1", "tenantA", now=0, duration=0)
+
+
+class TestTerminalStates:
+    def test_release_then_renew_raises(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        assert table.release("c1").state == "released"
+        with pytest.raises(LeaseError):
+            table.renew("c1", now=10, duration=10)
+
+    def test_double_release_raises(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        table.release("c1")
+        with pytest.raises(LeaseError):
+            table.release("c1")
+
+    def test_sweep_expires_only_overdue(self):
+        table = LeaseTable()
+        table.grant("old", "tenantA", now=0, duration=50)
+        table.grant("new", "tenantB", now=0, duration=500)
+        swept = table.sweep_expired(now=100)
+        assert [lease.label for lease in swept] == ["old"]
+        assert table.get("old").state == "expired"
+        assert table.get("new").state == "active"
+        # Idempotent: a second sweep finds nothing.
+        assert table.sweep_expired(now=100) == []
+
+
+class TestViolations:
+    def test_revoke_before_expiry_is_violation(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=1000)
+        lease = table.revoke("c1", now=100, reason="link died")
+        assert lease.state == "revoked"
+        assert lease.revoked_reason == "link died"
+        assert table.violations_by_tenant() == {"tenantA": 1}
+
+    def test_revoke_after_deadline_is_plain_expiry(self):
+        table = LeaseTable()
+        table.grant("c1", "tenantA", now=0, duration=100)
+        lease = table.revoke("c1", now=200, reason="late anyway")
+        assert lease.state == "expired"
+        assert table.violations_by_tenant() == {}
+
+    def test_violations_sorted_by_tenant(self):
+        table = LeaseTable()
+        for index, tenant in enumerate(["zeta", "alpha", "zeta"]):
+            label = f"c{index}"
+            table.grant(label, tenant, now=0, duration=1000)
+            table.revoke(label, now=1, reason="x")
+        assert table.violations_by_tenant() == {"alpha": 1, "zeta": 2}

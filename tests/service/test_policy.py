@@ -1,0 +1,129 @@
+"""Backoff determinism and the circuit-breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceConfigError
+from repro.service import BackoffPolicy, CircuitBreaker, RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_up_to_cap(self):
+        policy = BackoffPolicy(
+            base_cycles=10, cap_cycles=55, jitter_cycles=0, seed=0
+        )
+        assert [policy.delay(k) for k in range(4)] == [10, 20, 40, 55]
+
+    def test_jitter_is_seeded_deterministic(self):
+        a = BackoffPolicy(8, 1024, 16, seed=42)
+        b = BackoffPolicy(8, 1024, 16, seed=42)
+        assert [a.delay(k) for k in range(10)] == [
+            b.delay(k) for k in range(10)
+        ]
+        c = BackoffPolicy(8, 1024, 16, seed=43)
+        assert [a.delay(k) for k in range(10)] != [
+            c.delay(k) for k in range(10)
+        ]
+
+    def test_jitter_bounded(self):
+        policy = BackoffPolicy(10, 10, 5, seed=1)
+        for attempt in range(50):
+            assert 10 <= policy.delay(attempt) <= 15
+
+    def test_history_records_every_delay(self):
+        policy = BackoffPolicy(10, 100, 0, seed=0)
+        policy.delay(0)
+        policy.delay(1)
+        assert policy.history == [10, 20]
+
+    def test_huge_attempt_does_not_overflow(self):
+        policy = BackoffPolicy(1, 1 << 20, 0, seed=0)
+        assert policy.delay(10_000) == 1 << 20
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ServiceConfigError):
+            BackoffPolicy(0, 10, 0, seed=0)
+        with pytest.raises(ServiceConfigError):
+            BackoffPolicy(10, 5, 0, seed=0)
+        with pytest.raises(ServiceConfigError):
+            BackoffPolicy(1, 10, -1, seed=0)
+        with pytest.raises(ServiceConfigError):
+            BackoffPolicy(1, 10, 0, seed=0).delay(-1)
+
+
+class TestRetryPolicy:
+    def test_bounded_attempts(self):
+        retry = RetryPolicy(
+            max_retries=2, backoff=BackoffPolicy(1, 2, 0, seed=0)
+        )
+        assert retry.should_retry(0)
+        assert retry.should_retry(1)
+        assert not retry.should_retry(2)
+
+    def test_zero_retries(self):
+        retry = RetryPolicy(
+            max_retries=0, backoff=BackoffPolicy(1, 2, 0, seed=0)
+        )
+        assert not retry.should_retry(0)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=100):
+        return CircuitBreaker(
+            "region0", threshold=threshold, cooldown_cycles=cooldown
+        )
+
+    def test_closed_allows(self):
+        breaker = self.make()
+        assert breaker.allow(0)
+        assert breaker.state == "closed"
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = self.make(threshold=3)
+        for cycle in range(2):
+            breaker.record_failure(cycle)
+        assert breaker.state == "closed"
+        breaker.record_failure(2)
+        assert breaker.state == "open"
+        assert breaker.stats.opened == 1
+        assert not breaker.allow(3)
+        assert breaker.stats.shed == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = self.make(threshold=3)
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        breaker.record_success(2)
+        breaker.record_failure(3)
+        breaker.record_failure(4)
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = self.make(threshold=1, cooldown=100)
+        breaker.record_failure(0)
+        assert breaker.state == "open"
+        assert not breaker.allow(50)
+        assert breaker.allow(100)  # the half-open probe
+        assert breaker.state == "half_open"
+        # A second request during the probe is still shed.
+        assert not breaker.allow(101)
+        breaker.record_success(110)
+        assert breaker.state == "closed"
+        assert breaker.allow(111)
+
+    def test_half_open_probe_reopens_on_failure(self):
+        breaker = self.make(threshold=1, cooldown=100)
+        breaker.record_failure(0)
+        assert breaker.allow(100)
+        breaker.record_failure(110)
+        assert breaker.state == "open"
+        assert breaker.stats.opened == 2
+        assert not breaker.allow(150)
+        assert breaker.allow(210)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ServiceConfigError):
+            CircuitBreaker("r", threshold=0, cooldown_cycles=10)
+        with pytest.raises(ServiceConfigError):
+            CircuitBreaker("r", threshold=1, cooldown_cycles=0)
