@@ -9,7 +9,7 @@ simulator throughput scale.
 from __future__ import annotations
 
 import json
-import os
+import math
 import time
 
 import pytest
@@ -264,31 +264,58 @@ def test_addressing_envelope_enforced(benchmark):
 #: side*side*2 elements (max_network_elements = 1 << (bits - 1)).
 VECTOR_CURVE_SIZES = [(8, 9), (16, 11), (32, 13)]
 
-#: Opt-in stretch point: a 64x64 fabric (8192 elements) takes minutes
-#: to configure on small runners, so it only joins the curve when
-#: explicitly requested.
-HUGE_FABRIC_ENV = "REPRO_BENCH_64X64"
+#: The stretch point (8192 elements); published by the slow-marked
+#: nightly leg, not the per-PR bench run (configuration alone takes
+#: tens of seconds on small runners).
+HUGE_FABRIC_SIZE = (64, 15)
+
+#: Steady epochs each measured window must contain.  The budget is what
+#: makes the curve *adaptive*: the steady period P grows linearly with
+#: the mesh side (P = lcm(wheel, CBR period) and the sustainable CBR
+#: period tracks the hop count), so a fixed cycle count would measure
+#: mostly the un-replayable lead-in on big fabrics while a fixed epoch
+#: count holds the replayed share comparable across sizes (the
+#: `replay_coverage` field makes that share part of the published
+#: record).
+EPOCH_BUDGET = 256
 
 
-def run_steady_corner_flow(side, config_word_bits, mode, run_cycles):
+def run_steady_corner_flow(
+    side, config_word_bits, mode, run_cycles=None, vector_shards=2
+):
     """One corner-to-corner CBR flow on a side x side mesh in a
-    periodic steady state; returns (elapsed, net)."""
+    periodic steady state; returns ``(elapsed, net, run_cycles,
+    window)`` where ``window`` holds the measured window's replay
+    telemetry deltas.
+
+    Sharded by default: epoch replay composes with sharding, and the
+    published curve asserts exactly that (`replay_coverage` > 0 under
+    ``vector_shards=2``); pass ``vector_shards=1`` for the unsharded
+    reference.  ``run_cycles=None`` applies the adaptive budget of
+    ``EPOCH_BUDGET`` steady epochs.
+    """
     params = daelite_parameters(
         slot_table_size=16, config_word_bits=config_word_bits
     )
     mesh = build_mesh(side, side)
     dst = ni_name(side - 1, side - 1)
-    # Unsharded on purpose: the curve measures (and asserts) the
-    # replay-backed vector path, which sharding turns off — a stray
-    # REPRO_VECTOR_SHARDS must not change the published numbers.
     net, _, handle = connected_daelite(
-        mesh, params, "NI00", dst, kernel_mode=mode, vector_shards=1
+        mesh,
+        params,
+        "NI00",
+        dst,
+        kernel_mode=mode,
+        vector_shards=vector_shards,
     )
     # Stay under the credit-window limit of the long path: ~8 credits
     # per round trip of ~7 cycles/hop, so the sustainable period grows
     # linearly with the hop count.
     hops = 2 * (side - 1)
     period = max(40, 2 * hops)
+    wheel = 16 * params.words_per_slot
+    steady_period = math.lcm(wheel, period)
+    if run_cycles is None:
+        run_cycles = max(20_000, EPOCH_BUDGET * steady_period)
     gen = CbrGenerator(
         "gen",
         inject=net.ni("NI00").injector(handle.forward.src_channel, "c"),
@@ -302,12 +329,85 @@ def run_steady_corner_flow(side, config_word_bits, mode, run_cycles):
     )
     net.kernel.add(gen)
     net.kernel.add(sink)
-    net.run(2_000)  # settle into the steady state
+    # Settle into the steady state: at least two full steady periods,
+    # so even fabrics whose period exceeds the old fixed 2000-cycle
+    # lead-in (64x64: P = 2016) enter the measured window settled.
+    net.run(max(2_000, 2 * steady_period))
+    settled = net.kernel.kernel_stats()
     started = time.perf_counter()
     net.run(run_cycles)
     elapsed = time.perf_counter() - started
     assert sink.clean and net.stats.delivered_words("c") > 0
-    return elapsed, net
+    kstats = net.kernel.kernel_stats()
+    window = {
+        key: kstats[key] - settled[key]
+        for key in ("replayed_cycles", "replayed_epochs")
+    }
+    window["regimes_detected"] = kstats["regimes_detected"]
+    return elapsed, net, run_cycles, window
+
+
+def _measure_curve_row(side, bits):
+    """Best-of-2 throughput row for one fabric size, with replay
+    provenance (`replay_coverage`, `regimes_detected`) from the faster
+    run's kernel telemetry."""
+    runs = [
+        run_steady_corner_flow(side, bits, VECTOR_MODE) for _ in range(2)
+    ]
+    wall = min(w for w, _, _, _ in runs)
+    _, _net, run_cycles, window = runs[0]
+    return {
+        "mesh": f"{side}x{side}",
+        "elements": side * side * 2,
+        "config_word_bits": bits,
+        "measured_cycles": run_cycles,
+        "cycles_per_second": round(run_cycles / wall),
+        "replayed_epochs": window["replayed_epochs"],
+        "replay_coverage": round(
+            window["replayed_cycles"] / run_cycles, 4
+        ),
+        "regimes_detected": window["regimes_detected"],
+        "vector_shards": 2,
+    }
+
+
+def _print_curve(rows):
+    print("\nVECTOR KERNEL — steady-flow throughput vs fabric size")
+    print(
+        f"{'mesh':>7} {'elements':>9} {'cycles/s':>12} {'epochs':>7} "
+        f"{'coverage':>9} {'regimes':>8}"
+    )
+    for row in rows:
+        print(
+            f"{row['mesh']:>7} {row['elements']:>9} "
+            f"{row['cycles_per_second']:>12,} {row['replayed_epochs']:>7} "
+            f"{row['replay_coverage']:>9.3f} {row['regimes_detected']:>8}"
+        )
+
+
+def _merge_curve_rows(new_rows):
+    """Merge rows into the vector_scalability curve of
+    ``BENCH_kernel.json`` (created by bench_kernel_compiled, which
+    sorts before this file); tolerate a standalone run where the
+    record — or the curve — does not exist yet.  Rows merge by mesh
+    size so the slow 64x64 leg extends a curve published per-PR."""
+    path = BENCH_RESULT_DIR / "BENCH_kernel.json"
+    record = {"benchmark": "kernel"}
+    if path.exists():
+        record = json.loads(path.read_text())
+    curve = {
+        row["mesh"]: row
+        for row in record.get("vector_scalability", {}).get("curve", [])
+    }
+    for row in new_rows:
+        curve[row["mesh"]] = row
+    record["vector_scalability"] = {
+        "workload": "corner-to-corner CBR flow, T=16",
+        "kernel_mode": VECTOR_MODE,
+        "aggregation": "best-of-2",
+        "curve": sorted(curve.values(), key=lambda r: r["elements"]),
+    }
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
 
 
 def test_vector_throughput_curve_to_32x32(benchmark):
@@ -318,63 +418,48 @@ def test_vector_throughput_curve_to_32x32(benchmark):
     32x32 must stay within ~20x of the 8x8 point (per-cycle work grows
     with fabric size only through the stepped boundary cycles and the
     materialized word volume, not the register count), where a
-    per-register scalar engine degrades far faster.
+    per-register scalar engine degrades far faster.  Every row runs
+    **sharded** (``vector_shards=2``) and must still replay — the
+    sharded-replay composition is part of the published claim.
     """
-    run_cycles = 20_000
-    sizes = list(VECTOR_CURVE_SIZES)
-    if os.environ.get(HUGE_FABRIC_ENV, "").strip():
-        sizes.append((64, 15))
 
     def sweep():
-        rows = []
-        for side, bits in sizes:
-            walls = [
-                run_steady_corner_flow(side, bits, VECTOR_MODE, run_cycles)
-                for _ in range(2)
-            ]
-            wall = min(w for w, _ in walls)
-            net = walls[0][1]
-            kstats = net.kernel.kernel_stats()
-            rows.append(
-                {
-                    "mesh": f"{side}x{side}",
-                    "elements": side * side * 2,
-                    "config_word_bits": bits,
-                    "measured_cycles": run_cycles,
-                    "cycles_per_second": round(run_cycles / wall),
-                    "replayed_epochs": kstats["replayed_epochs"],
-                }
-            )
-        return rows
+        return [
+            _measure_curve_row(side, bits)
+            for side, bits in VECTOR_CURVE_SIZES
+        ]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    print("\nVECTOR KERNEL — steady-flow throughput vs fabric size")
-    print(f"{'mesh':>7} {'elements':>9} {'cycles/s':>12} {'epochs':>7}")
-    for row in rows:
-        print(
-            f"{row['mesh']:>7} {row['elements']:>9} "
-            f"{row['cycles_per_second']:>12,} {row['replayed_epochs']:>7}"
-        )
+    _print_curve(rows)
     by_mesh = {row["mesh"]: row for row in rows}
     assert by_mesh["32x32"]["cycles_per_second"] > 0
     for row in rows:
         assert row["replayed_epochs"] > 0, f"no replay on {row['mesh']}"
+        assert row["replay_coverage"] > 0, f"no coverage on {row['mesh']}"
     assert (
         by_mesh["8x8"]["cycles_per_second"]
         < 20 * by_mesh["32x32"]["cycles_per_second"]
     ), "vector throughput collapsed between 8x8 and 32x32"
+    _merge_curve_rows(rows)
 
-    # Merge the curve into the kernel benchmark record (created by
-    # bench_kernel_compiled, which sorts before this file); tolerate a
-    # standalone run where the record does not exist yet.
-    path = BENCH_RESULT_DIR / "BENCH_kernel.json"
-    record = {"benchmark": "kernel"}
-    if path.exists():
-        record = json.loads(path.read_text())
-    record["vector_scalability"] = {
-        "workload": "corner-to-corner CBR flow, T=16",
-        "kernel_mode": VECTOR_MODE,
-        "aggregation": "best-of-2",
-        "curve": rows,
-    }
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+@pytest.mark.slow
+def test_vector_throughput_64x64(benchmark):
+    """Nightly stretch point: the 64x64 fabric (8192 elements) joins
+    the published curve.  Configuration dominates (tens of seconds);
+    the measured window itself replays almost entirely, so the point
+    demonstrates that throughput is set by the steady-state compiler,
+    not the register count."""
+    side, bits = HUGE_FABRIC_SIZE
+
+    def sweep():
+        return _measure_curve_row(side, bits)
+
+    row = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _print_curve([row])
+    assert row["replayed_epochs"] > 0
+    assert row["replay_coverage"] > 0.5, (
+        "the 64x64 window should be replay-dominated, measured "
+        f"coverage {row['replay_coverage']}"
+    )
+    _merge_curve_rows([row])

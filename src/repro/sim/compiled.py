@@ -48,7 +48,9 @@ transparently falls back to the activity mode for those cycles.
 
 from __future__ import annotations
 
-from collections import deque
+import operator
+import os
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from math import lcm
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -76,6 +78,17 @@ _NEVER = 1 << 62
 #: Steady-state periods above this are not worth probing: the two probe
 #: epochs would dominate any realistic run length.
 MAX_REPLAY_PERIOD = 1 << 16
+
+#: Environment variable: capacity (entries) of the per-network lowering
+#: cache that memoizes the schedule-dependent compile products on the
+#: structural schedule image, so the recompile forced by every use-case
+#: switch is a dict lookup when a regime returns.  ``0`` disables the
+#: cache; malformed values refuse compilation with a typed
+#: ``unsupported_params`` (the PR-8 shard-knob contract).
+LOWER_CACHE_ENV = "REPRO_LOWER_CACHE"
+#: Default lowering-cache capacity (covers realistic use-case rosters;
+#: one entry per distinct programmed schedule).
+LOWER_CACHE_DEFAULT = 16
 
 #: Stable string names of the move-map op tags.  The introspection API
 #: (:meth:`CompiledEngine.lowered_artifacts`) speaks these so external
@@ -213,6 +226,77 @@ def _schedule_token(network: Any) -> int:
             + ni.config_applied
         )
     return token
+
+
+def _schedule_image(network: Any) -> tuple:
+    """Structural image of the programmed schedule (content, not version).
+
+    Unlike :func:`_schedule_token` — which bumps on every applied config
+    action even when the resulting tables are identical — this captures
+    the schedule *content* every schedule-dependent compile product is a
+    pure function of: the slot wheel geometry and, per router/NI, the
+    programmed forward/injection/arrival tables plus the static link
+    attachment.  Two configurations with equal images lower to the same
+    move maps, occupancy and refusals, which is what makes both the
+    lowering cache and the piecewise-periodic regime cache sound across
+    use-case switches that revisit a schedule.
+    """
+    params = network.params
+    table = params.slot_table_size
+    routers = tuple(
+        (
+            name,
+            tuple(
+                tuple(
+                    (output, input_port)
+                    for output, input_port in router.slot_table.forwards(
+                        slot
+                    )
+                )
+                for slot in range(table)
+            ),
+        )
+        for name, router in sorted(network.routers.items())
+    )
+    nis = tuple(
+        (
+            name,
+            ni.out_link is not None,
+            ni.in_link is not None,
+            tuple(
+                ni.injection_table.channel(slot)
+                for slot in range(table)
+            ),
+            tuple(
+                ni.arrival_table.channel(slot) for slot in range(table)
+            ),
+        )
+        for name, ni in sorted(network.nis.items())
+    )
+    return (table, params.words_per_slot, routers, nis)
+
+
+def _lower_cache_capacity(network: Any) -> Any:
+    """Resolve the lowering-cache capacity knob (attribute, then env).
+
+    Mirrors the vector shard-knob contract: malformed values never
+    escape as exceptions — every parse failure becomes a typed
+    ``unsupported_params`` refusal so the degradation chain engages and
+    ``kernel_stats()`` records the reason.
+    """
+    try:
+        value = getattr(network, "lower_cache", None)
+        if value is None:
+            raw = os.environ.get(LOWER_CACHE_ENV, "").strip()
+            if not raw:
+                return LOWER_CACHE_DEFAULT
+            return max(0, int(raw))
+        return max(0, operator.index(value))
+    except (TypeError, ValueError, OverflowError) as exc:
+        return CompileRefusal(
+            CompileRefusal.UNSUPPORTED_PARAMS,
+            f"invalid lowering-cache setting: {exc}",
+        )
 
 
 def _check_eligibility(network: Any) -> Optional[CompileRefusal]:
@@ -395,24 +479,16 @@ def _classify_components(network: Any) -> Any:
     return gens, sinks
 
 
-def compile_network(
-    network: Any, token: int, engine_cls: Optional[type] = None
-) -> Any:
-    """Flatten the configured data plane into a :class:`CompiledEngine`.
+def _lower_schedule(network: Any) -> Any:
+    """Build the schedule-dependent compile products, or refuse.
 
-    Returns the engine, or a :class:`CompileRefusal` when the programmed
-    schedule cannot be proven drop- and collision-free (the stepped
-    kernels handle such schedules with their runtime checks instead).
-    ``engine_cls`` lets alternative executors of the same op tables
-    (the vector engine) reuse this entire lowering pipeline.
+    Returns ``(regs, move_map, inj_ops, occupancy)``: everything that
+    is a pure function of the structural schedule image (and the fixed
+    network wiring) — which is exactly what the lowering cache may
+    memoize.  The traffic roster, steady period and replay eligibility
+    are *not* here: they depend on live components and are recomputed
+    on every compile.
     """
-    from ..traffic.generators import TraceGenerator
-
-    classified = _classify_components(network)
-    if isinstance(classified, CompileRefusal):
-        return classified
-    gens, sinks = classified
-
     params = network.params
     table = params.slot_table_size
     wps = params.words_per_slot
@@ -551,9 +627,70 @@ def compile_network(
                     f"wheel phase {nxt}",
                 )
 
+    return regs, move_map, inj_ops, occupancy
+
+
+def compile_network(
+    network: Any, token: int, engine_cls: Optional[type] = None
+) -> Any:
+    """Flatten the configured data plane into a :class:`CompiledEngine`.
+
+    Returns the engine, or a :class:`CompileRefusal` when the programmed
+    schedule cannot be proven drop- and collision-free (the stepped
+    kernels handle such schedules with their runtime checks instead).
+    ``engine_cls`` lets alternative executors of the same op tables
+    (the vector engine) reuse this entire lowering pipeline.
+
+    The schedule-dependent products (:func:`_lower_schedule`) are
+    memoized per network on the structural schedule image, so a
+    use-case switch back to a previously programmed schedule recompiles
+    as a dict lookup; the traffic roster, steady period and replay
+    eligibility are recomputed fresh every time.
+    """
+    from ..traffic.generators import TraceGenerator
+
+    classified = _classify_components(network)
+    if isinstance(classified, CompileRefusal):
+        return classified
+    gens, sinks = classified
+
+    capacity = _lower_cache_capacity(network)
+    if isinstance(capacity, CompileRefusal):
+        return capacity
+    image = _schedule_image(network)
+    kernel = network.kernel
+    lowered: Any = None
+    cache: Optional[OrderedDict] = None
+    if capacity > 0:
+        cache = getattr(network, "_lowering_cache", None)
+        if cache is None:
+            cache = OrderedDict()
+            network._lowering_cache = cache
+        lowered = cache.get(image)
+        if lowered is not None:
+            cache.move_to_end(image)
+            kernel.lowering_cache_hits += 1
+    if lowered is None:
+        lowered = _lower_schedule(network)
+        if cache is not None:
+            # A typed INCONSISTENT_SCHEDULE is as cacheable as a
+            # successful lowering: it is the same pure function of the
+            # schedule image.
+            cache[image] = lowered
+            while len(cache) > capacity:
+                cache.popitem(last=False)
+        kernel.lowering_cache_misses += 1
+    if isinstance(lowered, CompileRefusal):
+        return lowered
+    regs, move_map, inj_ops, occupancy = lowered
+
+    params = network.params
+    wheel = params.slot_table_size * params.words_per_slot
+
     # Steady-state period and replay eligibility.
     period = wheel
     replay_ok = True
+    replay_refusal: Optional[CompileRefusal] = None
     trace_gens = []
     conn_meta: Dict[str, tuple] = {}
     fed_channels: Set[Tuple[int, int]] = set()
@@ -573,6 +710,12 @@ def compile_network(
             # shifts are ambiguous, so replay stays off (compiled
             # stepping still applies).
             replay_ok = False
+            if replay_refusal is None:
+                replay_refusal = CompileRefusal(
+                    CompileRefusal.APERIODIC,
+                    f"generators share connection label or channel "
+                    f"({conn!r}): per-connection shifts are ambiguous",
+                )
         conn_meta[conn] = (inject.ni, inject.channel, gen)
         fed_channels.add(chan_key)
     for sink, _ni, _channel, sink_period, _checking in sinks:
@@ -580,10 +723,15 @@ def compile_network(
             period = lcm(period, sink_period)
     if period > MAX_REPLAY_PERIOD:
         replay_ok = False
+        replay_refusal = CompileRefusal(
+            CompileRefusal.APERIODIC,
+            f"steady-state period {period} exceeds the probe budget "
+            f"{MAX_REPLAY_PERIOD}",
+        )
 
     if engine_cls is None:
         engine_cls = CompiledEngine
-    return engine_cls(
+    engine = engine_cls(
         network=network,
         token=token,
         wheel=wheel,
@@ -598,6 +746,9 @@ def compile_network(
         period=period,
         replay_ok=replay_ok,
     )
+    engine.schedule_image = image
+    engine.replay_refusal = replay_refusal
+    return engine
 
 
 class CompiledEngine:
@@ -676,6 +827,30 @@ class CompiledEngine:
         self.counter_getters = getters
         self.counter_setters = setters
         self._cur: Dict[int, Phit] = {}
+        #: Structural schedule image (set by :func:`compile_network`):
+        #: the content-based key the lowering and regime caches share.
+        self.schedule_image: Any = None
+        #: Typed diagnosis when ``replay_ok`` is off: the current
+        #: timeline segment is genuinely aperiodic (see
+        #: :attr:`CompileRefusal.APERIODIC`).  Telemetry only — the
+        #: engine still executes, it just never fast-forwards.
+        self.replay_refusal: Optional[CompileRefusal] = None
+        self._replay_refusal_noted = False
+        #: True while epoch replay is engaged in the current steady
+        #: regime; a boundary signature mismatch closes the regime, so
+        #: ``kernel.regimes_detected`` counts regime *segments*, not
+        #: replayed boundaries.
+        self._regime_open = False
+
+    def _note_aperiodic(self) -> None:
+        """Record the aperiodic-segment diagnosis once per engine."""
+        if (
+            not self.replay_ok
+            and self.replay_refusal is not None
+            and not self._replay_refusal_noted
+        ):
+            self._replay_refusal_noted = True
+            self.kernel._note_replay_refusal(self.replay_refusal)
 
     # -- introspection -----------------------------------------------------------
 
@@ -800,6 +975,7 @@ class CompiledEngine:
         refusal = self._import_registers(cycle)
         if refusal is not None:
             return refusal
+        self._note_aperiodic()
 
         stats = self.stats
         move_map = self.move_map
@@ -852,6 +1028,9 @@ class CompiledEngine:
                             if epochs >= 1 and self._deltas_clean(
                                 prev_snap, snap
                             ):
+                                if not self._regime_open:
+                                    self._regime_open = True
+                                    kernel.regimes_detected += 1
                                 self._materialize(
                                     epochs, prev_snap, snap, events, cur
                                 )
@@ -874,6 +1053,10 @@ class CompiledEngine:
                                     if fire < gen_due:
                                         gen_due = fire
                                 continue
+                        if prev_sig is not None and sig != prev_sig:
+                            # The steady rhythm broke: close the regime
+                            # so the next replay counts a new segment.
+                            self._regime_open = False
                         prev_sig = sig
                         prev_snap = snap
                     events.clear()
@@ -1040,21 +1223,23 @@ class CompiledEngine:
 
     # -- steady-state signatures and replay --------------------------------------
 
-    def _signature(self, cycle: int, cur: Dict[int, Phit]) -> tuple:
-        """Shift-invariant snapshot of the full network state.
-
-        Words of generator-fed connections are expressed relative to the
-        live per-channel sequence counter and generator word counter, so
-        two boundaries one steady epoch apart compare equal; everything
-        else (credits, flags, queue shapes, generator/sink phase) is
-        absolute and must literally repeat.
-        """
+    def _sig_anchors(self) -> Dict[str, Tuple[int, int]]:
+        """Per-connection (sequence, payload) anchors for shift-invariant
+        signatures: the live channel sequence counter and generator word
+        counter every in-flight identity is expressed relative to."""
         base: Dict[str, Tuple[int, int]] = {}
         for conn, (ni, channel, gen) in self.conn_meta.items():
             base[conn] = (
                 ni._sequence_counters.get(channel, 0),
                 gen.words_generated & _PAYLOAD_MASK,
             )
+        return base
+
+    @staticmethod
+    def _sig_rel(
+        base: Dict[str, Tuple[int, int]]
+    ) -> Callable[[Word], tuple]:
+        """Word → shift-invariant identity under the given anchors."""
 
         def rel(word: Word) -> tuple:
             anchor = base.get(word.connection)
@@ -1074,6 +1259,19 @@ class CompiledEngine:
                 True,
             )
 
+        return rel
+
+    def _signature(self, cycle: int, cur: Dict[int, Phit]) -> tuple:
+        """Shift-invariant snapshot of the full network state.
+
+        Words of generator-fed connections are expressed relative to the
+        live per-channel sequence counter and generator word counter, so
+        two boundaries one steady epoch apart compare equal; everything
+        else (credits, flags, queue shapes, generator/sink phase) is
+        absolute and must literally repeat.
+        """
+        base = self._sig_anchors()
+        rel = self._sig_rel(base)
         regs_part = tuple(
             sorted(
                 (
@@ -1084,6 +1282,18 @@ class CompiledEngine:
                 for rid, phit in cur.items()
             )
         )
+        return (regs_part,) + self._sig_env(cycle, base, rel)
+
+    def _sig_env(
+        self,
+        cycle: int,
+        base: Dict[str, Tuple[int, int]],
+        rel: Callable[[Word], tuple],
+    ) -> tuple:
+        """The non-register signature parts: channel queues, credits and
+        flags, generator phases, sink phases and sequence checkpoints.
+        Shared by the compiled signature and the vector engine's
+        tile-combined signature."""
         chans: List[tuple] = []
         for ni in self.nis_list:
             for channel in sorted(ni.source_channels):
@@ -1112,10 +1322,18 @@ class CompiledEngine:
                         dest.paired_source,
                     )
                 )
+        # The next-firing offset pins the generator's phase relative to
+        # the boundary.  Across same-regime boundaries (one period P
+        # apart, every generator period dividing P) it is constant, so
+        # the two-probe comparison is unchanged — but it is what makes
+        # signatures comparable across *regimes*: re-entering a cached
+        # regime with freshly started generators matches only when they
+        # fire at the same offsets the recorded epoch observed.
         gens_part = tuple(
             (
                 gen.done,
                 max(0, getattr(gen, "start_cycle", 0) - cycle),
+                self._gen_phase(gen, cycle),
             )
             for gen in self.gens
         )
@@ -1138,7 +1356,13 @@ class CompiledEngine:
             sinks_part.append(
                 (max(0, sink.start_cycle - cycle), last_rel)
             )
-        return (regs_part, tuple(chans), gens_part, tuple(sinks_part))
+        return (tuple(chans), gens_part, tuple(sinks_part))
+
+    @staticmethod
+    def _gen_phase(gen: Any, cycle: int) -> int:
+        """Cycles until the generator's next firing (-1 when done)."""
+        nxt = gen.next_evaluation(cycle)
+        return -1 if nxt is None else nxt - cycle
 
     def _snapshot(self, cycle: int) -> dict:
         """Absolute counter values backing the replay arithmetic."""

@@ -159,6 +159,12 @@ class CompileRefusal:
     DATAPATH_BUSY = "datapath_busy"
     #: Parameters outside the compiled timing model.
     UNSUPPORTED_PARAMS = "unsupported_params"
+    #: The current timeline segment is genuinely aperiodic — steady-state
+    #: epoch replay cannot engage (ambiguous generator labels, a replay
+    #: period beyond the probe budget, or trace-driven traffic that never
+    #: settles).  The engine still *runs*; only the arithmetic
+    #: fast-forward is withheld for this regime.
+    APERIODIC = "aperiodic_segment"
 
     #: Kinds that are *transient* obstructions of an otherwise
     #: compilable network: config words draining off the tree, phits
@@ -455,6 +461,24 @@ class Kernel:
         #: activity kernel before successfully re-acquiring an engine.
         self.compile_deferrals: Dict[str, int] = {}
         self._last_refusal: Optional[CompileRefusal] = None
+        #: Distinct steady-state regimes in which epoch replay engaged
+        #: (a regime opens when replay first fires after a signature
+        #: mismatch or reconfiguration, and closes on the next mismatch).
+        self.regimes_detected = 0
+        #: Boundaries where a previously cached regime replayed
+        #: immediately, skipping the two-probe settling wait.
+        self.regime_cache_hits = 0
+        #: Regimes captured into the piecewise-periodic cache.
+        self.regime_cache_stores = 0
+        #: ``lower_network`` products served from the schedule-image
+        #: cache instead of recompiled (use-case-switch campaigns).
+        self.lowering_cache_hits = 0
+        #: Full compiles that populated the lowering cache.
+        self.lowering_cache_misses = 0
+        #: refusal kind -> count of *replay* refusals: the engine ran,
+        #: but a timeline segment was aperiodic so epoch replay was
+        #: withheld (see :attr:`CompileRefusal.APERIODIC`).
+        self.replay_refusals: Dict[str, int] = {}
 
     # -- mode ----------------------------------------------------------------
 
@@ -705,6 +729,17 @@ class Kernel:
             self.compile_fallbacks.get(refusal.kind, 0) + 1
         )
 
+    def _note_replay_refusal(self, refusal: CompileRefusal) -> None:
+        """Record an aperiodic-segment diagnosis (not a fallback).
+
+        The engine keeps running; only the epoch fast-forward is
+        withheld, so this feeds :attr:`replay_refusals` rather than the
+        fallback counters.
+        """
+        self.replay_refusals[refusal.kind] = (
+            self.replay_refusals.get(refusal.kind, 0) + 1
+        )
+
     def _retire_engine(self, decompile: bool = True) -> None:
         """Drop the compiled engine, optionally materializing its state.
 
@@ -776,6 +811,12 @@ class Kernel:
             "replayed_cycles": self.replayed_cycles,
             "compile_fallbacks": dict(self.compile_fallbacks),
             "compile_deferrals": dict(self.compile_deferrals),
+            "regimes_detected": self.regimes_detected,
+            "regime_cache_hits": self.regime_cache_hits,
+            "regime_cache_stores": self.regime_cache_stores,
+            "lowering_cache_hits": self.lowering_cache_hits,
+            "lowering_cache_misses": self.lowering_cache_misses,
+            "replay_refusals": dict(self.replay_refusals),
             "last_refusal": None if refusal is None else refusal.kind,
             "last_refusal_detail": (
                 None if refusal is None else refusal.detail

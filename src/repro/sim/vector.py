@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import operator
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -98,6 +99,18 @@ VECTOR_WORKERS_ENV = "REPRO_VECTOR_WORKERS"
 #: in-process (workers=0) — results stay bit-identical either way, the
 #: worker pool being a pure reordering of the same disjoint writes.
 VECTOR_RACE_CHECK_ENV = "REPRO_VECTOR_RACE_CHECK"
+#: Environment variable: capacity (regimes) of the per-network
+#: piecewise-periodic regime cache.  Each entry holds one steady
+#: regime's ``(signature, per-epoch deltas, rebased event template)``
+#: keyed on (schedule image, traffic roster, signature), so a use-case
+#: switch back into a previously observed regime replays at the *first*
+#: period boundary instead of re-probing two full epochs.  ``0``
+#: disables the cache; malformed values refuse compilation with a typed
+#: ``unsupported_params`` (the PR-8 shard-knob contract).
+REGIME_CACHE_ENV = "REPRO_REGIME_CACHE"
+#: Default regime-cache capacity (one entry per distinct steady regime;
+#: use-case campaigns rarely cycle through more than a handful).
+REGIME_CACHE_DEFAULT = 8
 
 # State-plane indices of the dense (6, R) register matrix.
 _PAY, _SEQ, _CID, _PAR, _CRED, _VAL = range(6)
@@ -436,6 +449,27 @@ def _shard_config(network: Any, n_regs: int) -> Any:
     return shards, workers
 
 
+def _regime_cache_capacity(network: Any) -> Any:
+    """Resolve the regime-cache capacity knob (attribute, then env).
+
+    Same contract as :func:`_shard_config`: malformed values become a
+    typed ``unsupported_params`` refusal, never an escaping exception.
+    """
+    try:
+        value = getattr(network, "regime_cache", None)
+        if value is None:
+            raw = os.environ.get(REGIME_CACHE_ENV, "").strip()
+            if not raw:
+                return REGIME_CACHE_DEFAULT
+            return max(0, int(raw))
+        return max(0, operator.index(value))
+    except (TypeError, ValueError, OverflowError) as exc:
+        return CompileRefusal(
+            CompileRefusal.UNSUPPORTED_PARAMS,
+            f"invalid regime-cache setting: {exc}",
+        )
+
+
 class VectorEngine(CompiledEngine):
     """Numpy-lowered executor of the compiled op tables.
 
@@ -511,19 +545,42 @@ class VectorEngine(CompiledEngine):
         self._tabs = [
             self._lower_phase(phase) for phase in range(self.wheel)
         ]
+        # Sharded execution replays too: all injection records and
+        # arrivals are parent-owned by construction (tile tabs carry
+        # neither), so the per-epoch event capture is complete, and the
+        # boundary probe's counter flush is one worker round-trip per
+        # steady period — amortized to nothing once replay engages.
+        # Signatures are computed per tile plus the parent/environment
+        # parts and combined (see _signature_tiled), and the replay
+        # arithmetic runs on the shared dense state while the workers
+        # sit between phase messages.
         if shards > 1:
             self._plan: Optional[_ShardPlan] = _ShardPlan(
                 self, self._tabs, shards, workers
             )
             self._all_tabs = self._plan.all_tabs
-            # Replay probing flushes counters (a worker round-trip per
-            # boundary) and the shard split drops the per-epoch event
-            # capture; sharded runs target fabrics where raw stepping
-            # is the point, so replay is simply disabled.
-            self.replay_ok = False
         else:
             self._plan = None
             self._all_tabs = self._tabs
+        self._tile_bounds = tuple(
+            (
+                (t * n_regs + shards - 1) // shards,
+                ((t + 1) * n_regs + shards - 1) // shards,
+            )
+            for t in range(shards)
+        )
+        capacity = _regime_cache_capacity(self.network)
+        if isinstance(capacity, CompileRefusal):
+            return capacity
+        self._regime_capacity = capacity
+        self._regime_cache: Optional[OrderedDict] = None
+        if capacity > 0 and self.replay_ok:
+            cache = getattr(self.network, "_vector_regime_cache", None)
+            if cache is None:
+                cache = OrderedDict()
+                self.network._vector_regime_cache = cache
+            self._regime_cache = cache
+        self._regime_roster = self._roster_key()
         # Probe state carried across run_to calls (see run_to).
         self._probe_sig: Any = None
         self._probe_snap: Any = None
@@ -531,6 +588,43 @@ class VectorEngine(CompiledEngine):
         self._probe_cycle = -1
         self._probe_end = -1
         return None
+
+    def _roster_key(self) -> tuple:
+        """Hashable identity of the traffic roster driving this engine.
+
+        A cached regime is only replayable when the *same* generator
+        and sink structure (types, periods, budgets, endpoints, roster
+        order) surrounds the matching signature: the per-epoch delta
+        vectors and the event template's sink indices are positional in
+        this roster.
+        """
+        gens_key = []
+        for gen in self.gens:
+            inject = getattr(gen, "inject", None)
+            gens_key.append(
+                (
+                    type(gen).__name__,
+                    getattr(gen, "period", 0),
+                    getattr(gen, "burst_words", 0),
+                    getattr(gen, "total_words", None),
+                    getattr(gen, "total_bursts", None),
+                    None if inject is None else inject.connection,
+                    None if inject is None else inject.ni.name,
+                    None if inject is None else inject.channel,
+                )
+            )
+        sinks_key = [
+            (
+                type(sink).__name__,
+                ni.name,
+                channel,
+                sink_period,
+                checking,
+                sink.words_per_cycle,
+            )
+            for sink, ni, channel, sink_period, checking in self.sinks
+        ]
+        return (tuple(gens_key), tuple(sinks_key), self.period)
 
     def _intern(self, connection: str) -> int:
         cid = self._conn_ids.get(connection)
@@ -604,13 +698,7 @@ class VectorEngine(CompiledEngine):
         """
         n_regs = len(self.regs)
         shards = self._shards
-        bounds = tuple(
-            (
-                (t * n_regs + shards - 1) // shards,
-                ((t + 1) * n_regs + shards - 1) // shards,
-            )
-            for t in range(shards)
-        )
+        bounds = self._tile_bounds
         rounds: List[PhaseRound] = []
         plan = self._plan
         for phase in range(self.wheel):
@@ -901,6 +989,237 @@ class VectorEngine(CompiledEngine):
         for i in np.nonzero(fw)[0].tolist():
             routers[i].forwarded_words += int(fw[i])
 
+    # -- tiled signatures and the piecewise-periodic regime cache ----------------
+
+    def _signature_tiled(self, cycle: int) -> tuple:
+        """Shift-invariant signature computed per shard tile.
+
+        Each tile contributes one ordered part built from its occupied
+        dense-state columns (ascending register id).  Tiles partition
+        the register space into contiguous ascending ranges, so the
+        concatenation over tiles equals the unsharded engine's sorted
+        flat register part entry for entry — the combination step is
+        free, and a 1-shard engine produces the identical value.  Words
+        are identified by connection *name* (never the engine-local
+        interned id), which keeps signatures comparable across engine
+        incarnations — the property the regime cache keys on.
+        """
+        base = self._sig_anchors()
+        rel = self._sig_rel(base)
+        names = self._conn_names
+        conn_ids = self._conn_ids
+        n = len(names)
+        seq_anchor = [0] * n
+        pay_anchor = [0] * n
+        anchored = [False] * n
+        for conn, (s, p) in base.items():
+            cid = conn_ids.get(conn)
+            if cid is not None:
+                seq_anchor[cid] = s
+                pay_anchor[cid] = p
+                anchored[cid] = True
+        state = self._state
+        occ = (state[_VAL] != 0) | (state[_CRED] != 0)
+        tile_parts: List[tuple] = []
+        for lo, hi in self._tile_bounds:
+            entries: List[tuple] = []
+            for off in np.nonzero(occ[lo:hi])[0].tolist():
+                rid = lo + off
+                col = state[:, rid]
+                word_part: Optional[tuple] = None
+                if col[_VAL]:
+                    cid = int(col[_CID])
+                    if anchored[cid]:
+                        word_part = (
+                            names[cid],
+                            int(col[_SEQ]) - seq_anchor[cid],
+                            (int(col[_PAY]) - pay_anchor[cid])
+                            & _PAYLOAD_MASK,
+                            None,
+                            True,
+                        )
+                    else:
+                        par = int(col[_PAR])
+                        word_part = (
+                            names[cid],
+                            int(col[_SEQ]),
+                            int(col[_PAY]),
+                            None if par == 0 else par - 1,
+                            False,
+                        )
+                credits = int(col[_CRED]) or None
+                entries.append((rid, word_part, credits))
+            tile_parts.append(tuple(entries))
+        return (tuple(tile_parts),) + self._sig_env(cycle, base, rel)
+
+    def _regime_store(
+        self,
+        sig: tuple,
+        before: dict,
+        after: dict,
+        events: List[tuple],
+        cycle: int,
+    ) -> None:
+        """Record one proven-steady epoch as a reusable regime template.
+
+        The template is fully rebased: event cycles relative to the
+        epoch start, sequences/payloads relative to the per-connection
+        anchors at the closing boundary, counter values as per-epoch
+        deltas.  Loading re-anchors against whatever absolute state the
+        matching boundary presents, so a template recorded before a
+        use-case switch replays bit-exactly after switching back.
+        """
+        cache = self._regime_cache
+        if cache is None:
+            return
+        key = (self.schedule_image, self._regime_roster, sig)
+        if key in cache:
+            cache.move_to_end(key)
+            return
+        base = self._sig_anchors()
+        names = self._conn_names
+        start = cycle - self.period
+        rebased: List[tuple] = []
+        for event in events:
+            tag = event[0]
+            rcyc = event[1] - start
+            conn = names[event[2]]
+            anchor = base.get(conn)
+            anch = anchor is not None
+            if tag == _EV_INJECT:
+                seq = event[3] - anchor[0] if anch else event[3]
+                rebased.append((tag, rcyc, conn, seq, anch))
+            elif tag == _EV_EJECT:
+                seq = event[3] - anchor[0] if anch else event[3]
+                rebased.append((tag, rcyc, conn, seq, anch, event[4]))
+            else:  # _EV_SINK
+                seq = event[3] - anchor[0] if anch else event[3]
+                pay = (
+                    (event[4] - anchor[1]) & _PAYLOAD_MASK
+                    if anch
+                    else event[4]
+                )
+                rebased.append(
+                    (tag, rcyc, conn, seq, pay, anch, event[5])
+                )
+        cache[key] = {
+            "chan_keys": after["chan_keys"],
+            "fixed_delta": [
+                a - b for a, b in zip(after["fixed"], before["fixed"])
+            ],
+            "chan_delta": [
+                a - b
+                for a, b in zip(after["chan_vals"], before["chan_vals"])
+            ],
+            "seq_delta": {
+                conn: after["seqs"][conn] - before["seqs"].get(conn, 0)
+                for conn in after["seqs"]
+            },
+            "gw_delta": [
+                a - b
+                for a, b in zip(after["gen_words"], before["gen_words"])
+            ],
+            "gb_delta": [
+                a - b
+                for a, b in zip(
+                    after["gen_bursts"], before["gen_bursts"]
+                )
+            ],
+            "events": tuple(rebased),
+        }
+        cache.move_to_end(key)
+        while len(cache) > self._regime_capacity:
+            cache.popitem(last=False)
+        self.kernel.regime_cache_stores += 1
+
+    def _regime_load(
+        self, sig: tuple, snap: dict, cycle: int
+    ) -> Optional[Tuple[dict, List[tuple]]]:
+        """Rehydrate a cached regime template at a matching boundary.
+
+        Returns ``(before, events)`` shaped exactly like a live
+        two-probe capture: ``before`` is the current snapshot minus the
+        stored per-epoch deltas (so ``_deltas_clean`` holds by
+        construction and ``_replay_horizon``/``_materialize_vec`` apply
+        unchanged), and ``events`` are the template's events re-anchored
+        to the live sequence counters and re-timed into the epoch
+        ending at ``cycle``.
+        """
+        cache = self._regime_cache
+        if cache is None:
+            return None
+        key = (self.schedule_image, self._regime_roster, sig)
+        entry = cache.get(key)
+        if entry is None or entry["chan_keys"] != snap["chan_keys"]:
+            return None
+        cache.move_to_end(key)
+        base = self._sig_anchors()
+        intern = self._intern
+        start = cycle - self.period
+        events: List[tuple] = []
+        for ev in entry["events"]:
+            tag = ev[0]
+            cyc = ev[1] + start
+            conn = ev[2]
+            anchor = base.get(conn)
+            if tag == _EV_INJECT:
+                seq = ev[3]
+                if ev[4]:
+                    if anchor is None:
+                        return None
+                    seq += anchor[0]
+                events.append((tag, cyc, intern(conn), seq))
+            elif tag == _EV_EJECT:
+                seq = ev[3]
+                if ev[4]:
+                    if anchor is None:
+                        return None
+                    seq += anchor[0]
+                events.append((tag, cyc, intern(conn), seq, ev[5]))
+            else:  # _EV_SINK
+                seq = ev[3]
+                pay = ev[4]
+                if ev[5]:
+                    if anchor is None:
+                        return None
+                    seq += anchor[0]
+                    pay = (pay + anchor[1]) & _PAYLOAD_MASK
+                events.append(
+                    (tag, cyc, intern(conn), seq, pay, ev[6])
+                )
+        before = {
+            "fixed": [
+                now - d
+                for now, d in zip(snap["fixed"], entry["fixed_delta"])
+            ],
+            "chan_keys": snap["chan_keys"],
+            "chan_vals": [
+                now - d
+                for now, d in zip(
+                    snap["chan_vals"], entry["chan_delta"]
+                )
+            ],
+            "seqs": {
+                conn: snap["seqs"][conn]
+                - entry["seq_delta"].get(conn, 0)
+                for conn in snap["seqs"]
+            },
+            "gen_words": [
+                now - d
+                for now, d in zip(snap["gen_words"], entry["gw_delta"])
+            ],
+            "gen_bursts": [
+                now - d
+                for now, d in zip(
+                    snap["gen_bursts"], entry["gb_delta"]
+                )
+            ],
+            "faults": snap["faults"],
+            "dropped": snap["dropped"],
+            "findings": snap["findings"],
+        }
+        return before, events
+
     # -- execution ---------------------------------------------------------------
 
     def run_to(self, end: int) -> Optional[CompileRefusal]:
@@ -913,6 +1232,7 @@ class VectorEngine(CompiledEngine):
         refusal = self._import_state(cycle)
         if refusal is not None:
             return refusal
+        self._note_aperiodic()
 
         state = self._state
         tabs = self._tabs
@@ -1002,19 +1322,37 @@ class VectorEngine(CompiledEngine):
                         prev_snap = None
                     else:
                         self._flush_counters()
-                        sig = self._signature(cycle, self._cur_dict())
+                        sig = self._signature_tiled(cycle)
                         snap = self._snapshot(cycle)
+                        replay: Any = None
                         if prev_sig is not None and sig == prev_sig:
+                            if self._deltas_clean(prev_snap, snap):
+                                replay = (prev_snap, events)
+                                self._regime_store(
+                                    sig, prev_snap, snap, events, cycle
+                                )
+                        else:
+                            if prev_sig is not None:
+                                # The steady rhythm broke: whatever
+                                # replays next opens a new segment.
+                                self._regime_open = False
+                            loaded = self._regime_load(sig, snap, cycle)
+                            if loaded is not None:
+                                replay = loaded
+                                kernel.regime_cache_hits += 1
+                        if replay is not None:
+                            before_r, epoch_events = replay
                             epochs = (end - cycle) // period
                             epochs = min(
                                 epochs,
-                                self._replay_horizon(prev_snap, snap),
+                                self._replay_horizon(before_r, snap),
                             )
-                            if epochs >= 1 and self._deltas_clean(
-                                prev_snap, snap
-                            ):
+                            if epochs >= 1:
+                                if not self._regime_open:
+                                    self._regime_open = True
+                                    kernel.regimes_detected += 1
                                 self._materialize_vec(
-                                    epochs, prev_snap, snap, events
+                                    epochs, before_r, snap, epoch_events
                                 )
                                 cycle += epochs * period
                                 replayed_epochs += epochs

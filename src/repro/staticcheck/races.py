@@ -21,6 +21,12 @@ duplicated work).
 concurrent tile writes (tiles are unordered among themselves), or the
 parent and a tile both scatter one column (the parent's ordering
 cannot linearize two produces).
+``RS004`` replay-stream recomposition — the parent tab's
+event-producing work (injection records, arrivals) must equal the
+unsharded tab's **in order**, not just as a multiset: sharded epoch
+replay records its reusable event template from the parent stream, so
+a reordered decomposition would materialize epochs in a different
+event order than the unsharded engine observes.
 
 Legal by the execution order, and deliberately *not* flagged: the
 parent gathering anything (it reads before every tile write) and the
@@ -79,6 +85,18 @@ RS_RULES: Tuple[Rule, ...] = (
         severity=Severity.ERROR,
         kind="prove",
     ),
+    Rule(
+        rule_id="RS004",
+        title="replay-stream-recomposition",
+        description=(
+            "the parent tab's ordered event-producing work (injection "
+            "records, arrivals) does not recompose the unsharded "
+            "tab's event stream exactly — epoch replay would capture "
+            "a reordered or incomplete template under shards"
+        ),
+        severity=Severity.ERROR,
+        kind="prove",
+    ),
 )
 
 for _rs in RS_RULES:
@@ -94,17 +112,28 @@ def _pair_multiset(view: Any) -> Counter:
     )
 
 
+def _inject_stream(view: Any) -> Tuple[Tuple[int, int], ...]:
+    """The tab's injection records as an *ordered* (src, dst) stream —
+    the order the engine appends replay events in."""
+    if view is None:
+        return ()
+    pairs = view.pairs
+    return tuple(pairs[pos] for pos in sorted(view.inject_positions))
+
+
 def verify_shard_plan(
     artifacts: Any, origin: str = PLAN_FILE
 ) -> List[Finding]:
-    """Prove RS001–RS003 over one engine's vector artifacts.
+    """Prove RS001–RS004 over one engine's vector artifacts.
 
     An empty return is a proof that, for this exact configuration,
     concurrent tile write-sets are pairwise disjoint, every boundary
     crossing is parent-owned, the decomposition loses and duplicates
-    nothing versus the unsharded reference tab, and the fixed
+    nothing versus the unsharded reference tab, the fixed
     gather-tiles-parent execution order serializes every remaining
-    access pair.  Unsharded artifacts (no plan) are trivially clean.
+    access pair, and the parent's ordered event-producing work
+    recomposes the unsharded event stream exactly (the sharded-replay
+    precondition).  Unsharded artifacts (no plan) are trivially clean.
     """
     findings: List[Finding] = []
     names = artifacts.register_names
@@ -275,6 +304,59 @@ def verify_shard_plan(
                 "the parent's arrival set differs from the unsharded "
                 "tab's",
                 "arrivals must move to the parent verbatim",
+            )
+
+        # RS004: replay-stream recomposition — the parent's *ordered*
+        # injection and arrival streams must equal the unsharded
+        # tab's.  The multiset checks above cannot see a reordering,
+        # but the replayed-epoch template records events in parent
+        # order, so order is part of the bit-exactness contract.
+        want_inj = _inject_stream(rnd.combined)
+        have_inj = _inject_stream(parent)
+        if want_inj != have_inj and Counter(want_inj) == Counter(
+            have_inj
+        ):
+            bad(
+                "RS004",
+                phase,
+                "the parent records injections in a different order "
+                "than the unsharded tab "
+                f"({[(name(s), name(d)) for s, d in have_inj]} vs "
+                f"{[(name(s), name(d)) for s, d in want_inj]})",
+                "replayed epochs re-emit events in recorded order; "
+                "keep injection records in combined position order",
+            )
+        want_arr_stream = tuple(rnd.combined.arrival_sources)
+        have_arr_stream = tuple(
+            parent.arrival_sources if parent is not None else ()
+        )
+        if want_arr_stream != have_arr_stream and Counter(
+            want_arr_stream
+        ) == Counter(have_arr_stream):
+            bad(
+                "RS004",
+                phase,
+                "the parent processes arrivals in a different order "
+                "than the unsharded tab "
+                f"({[name(r) for r in have_arr_stream]} vs "
+                f"{[name(r) for r in want_arr_stream]})",
+                "arrivals must be carried over verbatim, preserving "
+                "the unsharded order",
+            )
+        # A decomposition that parks event-producing work in a tile is
+        # both an ownership violation (RS002) and an incomplete parent
+        # event stream (RS004): the replay template would silently
+        # miss those events.
+        if any(tile.inject_positions for tile in tiles) or any(
+            tile.arrival_sources for tile in tiles
+        ):
+            bad(
+                "RS004",
+                phase,
+                "a tile holds event-producing work — the parent's "
+                "recorded event stream is incomplete",
+                "all injection records and arrivals must be "
+                "parent-owned for replay capture to be exhaustive",
             )
 
         # RS003: happens-before over the fixed order (parent gathers,

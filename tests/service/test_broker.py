@@ -317,3 +317,25 @@ class TestStats:
         broker.open(ask("bob", "b1", src="NI10", dst="NI01"))
         rates = broker.stats.per_tenant_success()
         assert rates == {"alice": 1.0, "bob": 1.0}
+
+    def test_churn_hits_the_lowering_cache(self):
+        """Open/release churn cycles a shard through a small set of
+        schedule images; with channel-index recycling, re-opening the
+        same endpoints reproduces an image the compiler has already
+        lowered, so the lowering cache must convert recompiles into
+        lookups — the telemetry the availability harness watches."""
+        config = ServiceConfig(shards=1)
+        broker = ConnectionBroker(
+            build_mesh_fleet(1, kernel_mode="compiled"),
+            config=config,
+            seed=1,
+        )
+        for _ in range(3):
+            outcome = broker.open(ask("tenantA", "c1"))
+            assert outcome.ok
+            broker.shards[0].network.run(600)
+            assert broker.release("c1").status == "released"
+            broker.shards[0].network.run(600)
+        telemetry = broker.cache_telemetry()
+        assert telemetry["lowering_cache_misses"] >= 1
+        assert telemetry["lowering_cache_hits"] >= 1, telemetry

@@ -95,8 +95,9 @@ def _steady_state_cps(mode: str, run_cycles: int) -> float:
         )
     )
     # Unsharded on purpose (mirrors the explicit kernel_mode above):
-    # the ordering gate compares the replay-backed fast paths, which a
-    # REPRO_VECTOR_SHARDS override would turn off.
+    # the ordering gate measures one fixed configuration, independent
+    # of a REPRO_VECTOR_SHARDS override in the environment (sharding
+    # now replays too, but tiny 4x4 tiles only add dispatch overhead).
     net = DaeliteNetwork(mesh, params, kernel_mode=mode, vector_shards=1)
     handle = net.configure(connection)
     net.run_until_configured(handle)
@@ -156,6 +157,83 @@ def test_kernel_mode_throughput_ordering():
     assert vector_cps >= 1.5 * compiled_long_cps, (
         f"vector kernel no longer clearly beats compiled: "
         f"{vector_cps:,.0f} vs {compiled_long_cps:,.0f} cycles/s"
+    )
+
+
+def _steady_cps_16x16(
+    vector_shards: int, run_cycles: int
+) -> tuple[float, DaeliteNetwork]:
+    """Vector-mode cycles/second on a steady 16x16 CBR flow."""
+    params = daelite_parameters(slot_table_size=16, config_word_bits=11)
+    mesh = build_mesh(16, 16)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    dst = ni_name(15, 15)
+    connection = allocator.allocate_connection(
+        ConnectionRequest(
+            "perf", "NI00", dst, forward_slots=2, reverse_slots=1
+        )
+    )
+    net = DaeliteNetwork(
+        mesh, params, kernel_mode=VECTOR_MODE, vector_shards=vector_shards
+    )
+    handle = net.configure(connection)
+    net.run_until_configured(handle)
+    gen = CbrGenerator(
+        "gen",
+        inject=net.ni("NI00").injector(handle.forward.src_channel, "perf"),
+        period=20,
+    )
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni(dst).receiver(handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen)
+    net.kernel.add(sink)
+    net.run(2_000)  # settle into the periodic steady state
+    started = time.perf_counter()
+    net.run(run_cycles)
+    elapsed = time.perf_counter() - started
+    assert sink.clean and net.stats.delivered_words("perf") > 0
+    return run_cycles / elapsed, net
+
+
+@pytest.mark.slow
+def test_sharded_replay_beats_unsharded_non_replay_16x16(monkeypatch):
+    """Perf-smoke gate for sharded epoch replay: on a 16x16 steady
+    state, the sharded vector engine (which now reaches the arithmetic
+    fast-forward) must be at least as fast as the unsharded engine with
+    replay withheld.  The non-replay reference is produced honestly —
+    shrinking the probe budget makes the steady period genuinely exceed
+    it, so the engine records a typed ``aperiodic_segment`` refusal and
+    steps every cycle.  Same machine, same process: a ratio cannot
+    flake on a slow runner the way an absolute bound would, and replay
+    wins by well over an order of magnitude, not by rounding."""
+    sharded_cps, sharded_net = _steady_cps_16x16(
+        vector_shards=2, run_cycles=40_000
+    )
+    sharded_stats = sharded_net.kernel.kernel_stats()
+    assert sharded_stats["replayed_epochs"] > 0, (
+        "sharded vector engine never reached epoch replay — the gate "
+        "would be comparing two stepped runs"
+    )
+    with monkeypatch.context() as patched:
+        patched.setattr("repro.sim.compiled.MAX_REPLAY_PERIOD", 1)
+        plain_cps, plain_net = _steady_cps_16x16(
+            vector_shards=1, run_cycles=40_000
+        )
+    plain_stats = plain_net.kernel.kernel_stats()
+    assert plain_stats["replayed_epochs"] == 0
+    assert plain_stats["replay_refusals"].get("aperiodic_segment", 0) > 0
+    assert "aperiodic_segment" not in plain_stats["compile_fallbacks"], (
+        "a replay refusal must not demote the engine — only the "
+        "fast-forward is withheld"
+    )
+    assert sharded_cps >= plain_cps, (
+        f"sharded replay no longer beats unsharded non-replay on the "
+        f"16x16 steady state: {sharded_cps:,.0f} vs "
+        f"{plain_cps:,.0f} cycles/s"
     )
 
 

@@ -86,13 +86,16 @@ def test_daelite_vector_kernel_matches_activity(scenario: Scenario):
     assert net_v.kernel.kernel_stats()["compiled_cycles"] > 0
 
 
-def test_vector_epoch_replay_is_bit_exact():
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_vector_epoch_replay_is_bit_exact(shards):
     """Thousands of bulk-replayed cycles still match stepped execution
-    in every observable."""
-    # Sharded execution disables replay by design, so the replay
-    # machinery under test here needs shards pinned off even when a
-    # REPRO_VECTOR_SHARDS override is active in the environment.
-    net_v = run_chunked_differential(steady_scenario(), vector_shards=1)
+    in every observable — under every shard count: replay composes
+    with sharding (tile tabs carry no event-producing work, so the
+    recorded epoch template is complete; RS004 proves that invariant
+    statically)."""
+    net_v = run_chunked_differential(
+        steady_scenario(), vector_shards=shards
+    )
     kernel_stats = net_v.kernel.kernel_stats()
     assert kernel_stats["compiled_cycles"] > 0
     assert kernel_stats["replayed_epochs"] >= 10, (
@@ -105,10 +108,11 @@ def test_vector_matches_compiled_directly():
     """The two engine-backed modes agree with each other, not just each
     with activity — catches compensating errors."""
     scenario = steady_scenario()
-    # Pinned unsharded: the closing assertions require both engines to
-    # reach replay, which sharded execution turns off.
+    # Sharded on purpose: the sharded vector engine must agree with the
+    # *unsharded compiled* interpreter cycle for cycle, including the
+    # replayed spans (both engines reach replay below).
     net_v, gens_v, sinks_v = build_daelite(
-        scenario, VECTOR_MODE, vector_shards=1
+        scenario, VECTOR_MODE, vector_shards=2
     )
     net_c, gens_c, sinks_c = build_daelite(scenario, COMPILED_MODE)
     for chunk in scenario.chunks:
@@ -153,6 +157,20 @@ def test_sharded_tiles_match_unsharded(shards):
         shard_scenario(), vector_shards=shards
     )
     assert net_sharded.kernel.kernel_stats()["compiled_cycles"] > 0
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sharded_replay_matches_activity_3x3(shards):
+    """The multi-flow 3x3 scenario replays under every shard count and
+    stays bit-identical to the activity reference — the tile-combined
+    signature and the parent-captured event template reproduce exactly
+    what the unsharded probe records."""
+    net = run_chunked_differential(shard_scenario(), vector_shards=shards)
+    kernel_stats = net.kernel.kernel_stats()
+    assert kernel_stats["compiled_cycles"] > 0
+    assert kernel_stats["replayed_epochs"] > 0, (
+        f"sharded replay never engaged (shards={shards}): {kernel_stats}"
+    )
 
 
 def test_worker_pool_matches_serial():
@@ -200,11 +218,21 @@ def test_sharded_16x16_matches_unsharded():
         assert sink.clean
         return net
 
-    plain = build()
-    tiled = build(vector_shards=8)
-    assert stats_snapshot(tiled.stats) == stats_snapshot(plain.stats)
-    assert_same_registers(tiled.kernel, plain.kernel, "cycle 4000")
-    assert tiled.kernel.kernel_stats()["compiled_cycles"] > 0
+    plain = build(vector_shards=1)
+    assert plain.kernel.kernel_stats()["replayed_epochs"] > 0
+    for shards in (2, 4, 8):
+        tiled = build(vector_shards=shards)
+        assert stats_snapshot(tiled.stats) == stats_snapshot(plain.stats)
+        assert_same_registers(
+            tiled.kernel, plain.kernel, f"cycle 4000 (shards={shards})"
+        )
+        assert tiled.kernel.kernel_stats()["compiled_cycles"] > 0
+        # Sharded replay reaches the same arithmetic fast-forward as
+        # the unsharded run — same epochs, same landing state.
+        assert (
+            tiled.kernel.kernel_stats()["replayed_epochs"]
+            == plain.kernel.kernel_stats()["replayed_epochs"]
+        )
     assert plain.stats.delivered_words("far") > 0
 
 
@@ -331,8 +359,8 @@ def run_switch_campaign(mode: str):
             ),
         )
     )
-    # Unsharded: the campaign asserts replay re-engages after the
-    # switch, and sharded execution disables replay by design.
+    # The unsharded baseline; test_regime_revisit_campaign covers the
+    # sharded variant of the same piecewise-periodic machinery.
     net = DaeliteNetwork(mesh, params, kernel_mode=mode, vector_shards=1)
     checkpoints = []
     gens, sinks = [], []
@@ -415,3 +443,171 @@ def test_usecase_switch_campaign_is_bit_exact():
     assert stats["replayed_cycles"] > pre_switch["replayed_cycles"]
     assert net_v.stats.delivered_words("a") == 60
     assert net_v.stats.delivered_words("b") > 0
+
+
+# -- regime-revisit campaign (piecewise-periodic cache) ------------------------
+
+
+def run_regime_revisit_campaign(mode: str, **net_kwargs):
+    """One steady CBR flow rides through three config switches that
+    alternate the schedule between two images: base (only "a"
+    configured) and extended ("a" + an idle "b").  Each switch bumps
+    the schedule version and forces a recompile; each *return* to a
+    previously seen image re-enters a cached regime, which the
+    piecewise-periodic cache must replay at the first boundary instead
+    of re-probing two epochs.
+
+    Returns the net, the per-chunk full snapshots, and per-segment
+    replay deltas ``(label, replayed_epochs_delta)``.
+    """
+    params = daelite_parameters(slot_table_size=8)
+    mesh = build_mesh(2, 2)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    conn_a = allocator.allocate_connection(
+        ConnectionRequest(
+            "a", "NI00", "NI11", forward_slots=2, reverse_slots=1
+        )
+    )
+    conn_b = allocator.allocate_connection(
+        ConnectionRequest(
+            "b", "NI10", "NI01", forward_slots=2, reverse_slots=1
+        )
+    )
+    net = DaeliteNetwork(mesh, params, kernel_mode=mode, **net_kwargs)
+    handle_a = net.configure(conn_a)
+    net.run_until_configured(handle_a)
+    gen_a = CbrGenerator(
+        "gen_a",
+        inject=net.ni("NI00").injector(handle_a.forward.src_channel, "a"),
+        period=10,
+    )
+    sink_a = CheckingSink(
+        "sink_a",
+        receive=net.ni("NI11").receiver(handle_a.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    net.kernel.add(gen_a)
+    net.kernel.add(sink_a)
+    gens, sinks = [gen_a], [sink_a]
+    checkpoints = []
+    segments = []
+
+    def steady_segment(label):
+        start = net.kernel.kernel_stats()["replayed_epochs"]
+        for chunk in (5, 700, 595):
+            net.run(chunk)
+            checkpoints.append(full_snapshot(net, gens, sinks))
+        delta = net.kernel.kernel_stats()["replayed_epochs"] - start
+        segments.append((label, delta))
+
+    steady_segment("base")
+    # Switch 1: extend the schedule with the (idle) connection "b".
+    handle_b = net.configure(conn_b)
+    net.run_until_configured(handle_b)
+    steady_segment("extended")
+    # Switch 2: tear "b" down and recycle its channel indices — the
+    # service churn discipline.  Recycling is what makes this a true
+    # *revisit*: the quiesced channels leave no driver-side residue,
+    # so the network returns to the exact base image and state shape.
+    teardown = net.host.teardown_connection(handle_b, conn_b)
+    net.run_until_configured(teardown)
+    net.host.recycle_connection_indices(handle_b, conn_b)
+    steady_segment("base-revisit")
+    # Switch 3: re-extend — revisiting the extended regime.
+    handle_b2 = net.configure(conn_b)
+    net.run_until_configured(handle_b2)
+    steady_segment("extended-revisit")
+    assert sink_a.clean
+    return net, checkpoints, segments
+
+
+def test_regime_revisit_campaign_replays_from_cache():
+    """Three use-case switches, two of them revisiting a prior regime:
+    the sharded vector engine replays in *every* revisited regime,
+    bit-identical to the activity reference, and the revisits are
+    served from the regime cache (immediate replay, no two-epoch
+    probe) and the lowering cache (no re-lowering)."""
+    net_v, chk_v, seg_v = run_regime_revisit_campaign(
+        VECTOR_MODE, vector_shards=2
+    )
+    net_a, chk_a, _ = run_regime_revisit_campaign(ACTIVITY_MODE)
+    assert len(chk_v) == len(chk_a)
+    for index, (snap_v, snap_a) in enumerate(zip(chk_v, chk_a)):
+        assert snap_v == snap_a, f"checkpoint {index} diverged"
+    for label, delta in seg_v:
+        assert delta > 0, f"segment {label!r} never replayed: {seg_v}"
+    stats = net_v.kernel.kernel_stats()
+    # Both revisited regimes were served from the cache ...
+    assert stats["regime_cache_hits"] >= 2, stats
+    # ... which was populated by the first visits ...
+    assert stats["regime_cache_stores"] >= 2, stats
+    assert stats["regimes_detected"] >= 4, stats
+    # ... and re-entering a known schedule image skipped re-lowering.
+    assert stats["lowering_cache_hits"] >= 2, stats
+    assert net_v.stats.delivered_words("a") > 0
+
+
+def build_shared_channel_flow(mode: str, **net_kwargs):
+    """Two generators feeding one channel under the same label: the
+    per-connection shifts replay depends on are ambiguous."""
+    params = daelite_parameters(slot_table_size=8)
+    mesh = build_mesh(2, 2)
+    allocator = SlotAllocator(topology=mesh, params=params)
+    conn = allocator.allocate_connection(
+        ConnectionRequest(
+            "dup", "NI00", "NI11", forward_slots=2, reverse_slots=1
+        )
+    )
+    net = DaeliteNetwork(mesh, params, kernel_mode=mode, **net_kwargs)
+    handle = net.configure(conn)
+    net.run_until_configured(handle)
+    gens = [
+        CbrGenerator(
+            f"gen{i}",
+            inject=net.ni("NI00").injector(
+                handle.forward.src_channel, "dup"
+            ),
+            period=period,
+        )
+        for i, period in enumerate((10, 15))
+    ]
+    sink = CheckingSink(
+        "sink",
+        receive=net.ni("NI11").receiver(handle.forward.dst_channel),
+        words_per_cycle=2,
+        stats=net.stats,
+    )
+    for gen in gens:
+        net.kernel.add(gen)
+    net.kernel.add(sink)
+    return net, gens, [sink]
+
+
+@pytest.mark.parametrize(
+    "mode,kwargs",
+    [
+        (VECTOR_MODE, {"vector_shards": 2}),
+        (COMPILED_MODE, {}),
+    ],
+    ids=["vector-sharded", "compiled"],
+)
+def test_shared_channel_records_aperiodic_replay_refusal(mode, kwargs):
+    """A genuinely aperiodic-for-replay segment is a *diagnosis*, not a
+    fallback: the engine keeps executing its fast path bit-exactly and
+    ``kernel_stats()`` records a typed ``aperiodic_segment`` entry in
+    ``replay_refusals`` — never in ``compile_fallbacks``."""
+    net_f, gens_f, sinks_f = build_shared_channel_flow(mode, **kwargs)
+    net_a, gens_a, sinks_a = build_shared_channel_flow(ACTIVITY_MODE)
+    for chunk in (5, 700, 595):
+        net_f.run(chunk)
+        net_a.run(chunk)
+        assert full_snapshot(net_f, gens_f, sinks_f) == full_snapshot(
+            net_a, gens_a, sinks_a
+        )
+    stats = net_f.kernel.kernel_stats()
+    assert stats["compiled_cycles"] > 0
+    assert stats["replayed_epochs"] == 0
+    assert stats["replay_refusals"].get(CompileRefusal.APERIODIC, 0) > 0
+    assert CompileRefusal.APERIODIC not in stats["compile_fallbacks"]
+    assert net_f.stats.delivered_words("dup") > 0

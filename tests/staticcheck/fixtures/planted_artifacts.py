@@ -313,8 +313,10 @@ def plant_duplicated_pair() -> Tuple[VectorArtifacts, FrozenSet[str]]:
 
 
 def plant_tile_arrival() -> Tuple[VectorArtifacts, FrozenSet[str]]:
-    """Tile 0 holds an arrival — parent-owned bookkeeping, and the
-    parent's arrival set no longer matches the unsharded tab: RS002."""
+    """Tile 0 holds an arrival — parent-owned bookkeeping and a
+    mismatched parent arrival set (RS002); the parent's recorded event
+    stream is also incomplete, so replay capture would miss the
+    ejection (RS004)."""
     rnd = PhaseRound(
         phase=0,
         combined=_tab("combined", arrivals=(1,), clear=(1,)),
@@ -324,7 +326,48 @@ def plant_tile_arrival() -> Tuple[VectorArtifacts, FrozenSet[str]]:
         ),
         parent=_tab("parent"),
     )
-    return _plan(rnd), frozenset({"RS002"})
+    return _plan(rnd), frozenset({"RS002", "RS004"})
+
+
+def plant_reordered_injections() -> Tuple[VectorArtifacts, FrozenSet[str]]:
+    """The parent executes both injection records, but swapped versus
+    the unsharded tab's position order.  Every multiset check passes —
+    only the *stream* differs, which is exactly what a replayed-epoch
+    template would get wrong: RS004."""
+    rnd = PhaseRound(
+        phase=0,
+        combined=_tab(
+            "combined",
+            sources=(0, 2),
+            scatter=(1, 3),
+            clear=(0, 2),
+            inject=(0, 1),
+        ),
+        tiles=(
+            _tab("tile:0", clear=(0,)),
+            _tab("tile:1", clear=(2,)),
+        ),
+        parent=_tab(
+            "parent", sources=(2, 0), scatter=(3, 1), inject=(0, 1)
+        ),
+    )
+    return _plan(rnd), frozenset({"RS004"})
+
+
+def plant_reordered_arrivals() -> Tuple[VectorArtifacts, FrozenSet[str]]:
+    """The parent carries both arrivals but in reversed order; the
+    multiset matches (no RS002), the recorded ejection stream does
+    not: RS004."""
+    rnd = PhaseRound(
+        phase=0,
+        combined=_tab("combined", arrivals=(1, 3), clear=(1, 3)),
+        tiles=(
+            _tab("tile:0", clear=(1,)),
+            _tab("tile:1", clear=(3,)),
+        ),
+        parent=_tab("parent", arrivals=(3, 1)),
+    )
+    return _plan(rnd), frozenset({"RS004"})
 
 
 def plant_parent_clear() -> Tuple[VectorArtifacts, FrozenSet[str]]:
@@ -403,6 +446,8 @@ RS_CORPUS = (
     ("dropped_pair", plant_dropped_pair),
     ("duplicated_pair", plant_duplicated_pair),
     ("tile_arrival", plant_tile_arrival),
+    ("reordered_injections", plant_reordered_injections),
+    ("reordered_arrivals", plant_reordered_arrivals),
     ("parent_clear", plant_parent_clear),
     ("parent_tile_scatter", plant_parent_tile_scatter),
     ("cross_tile_gather", plant_cross_tile_gather),
